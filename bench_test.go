@@ -1,0 +1,246 @@
+package mmx
+
+// One benchmark per paper artifact (DESIGN.md §3). Each bench regenerates
+// its figure/table from scratch per iteration and reports the headline
+// number as a custom metric, so `go test -bench=. -benchmem` doubles as
+// the reproduction harness's smoke run. cmd/mmx-bench prints the full
+// rows/series.
+
+import (
+	"testing"
+
+	"mmx/internal/experiments"
+)
+
+func BenchmarkFig7VCOTuning(b *testing.B) {
+	var last experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig7(16)
+	}
+	b.ReportMetric(last.FreqGHz[len(last.FreqGHz)-1]-last.FreqGHz[0], "GHz-span")
+}
+
+func BenchmarkFig8BeamPatterns(b *testing.B) {
+	var last experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig8(720)
+	}
+	b.ReportMetric(last.OrthogonalityDB, "dB-orthogonality")
+}
+
+func BenchmarkFig9Waveforms(b *testing.B) {
+	ok := 0
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(uint64(i))
+		if r.DecodedA && r.DecodedB {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok)/float64(b.N), "decode-rate")
+}
+
+func BenchmarkFig10SNRMap(b *testing.B) {
+	var last experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig10(uint64(i+1), 0.25)
+	}
+	b.ReportMetric(100*last.FracAbove10With, "pct≥10dB-with-OTAM")
+	b.ReportMetric(100*last.FracBelow5Without, "pct<5dB-without")
+}
+
+func BenchmarkFig11BERCDF(b *testing.B) {
+	var last experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig11(uint64(i+7), 30)
+	}
+	b.ReportMetric(last.MedianWith, "median-BER-with")
+	b.ReportMetric(last.MedianWithout, "median-BER-without")
+}
+
+func BenchmarkFig12Range(b *testing.B) {
+	var last experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig12(uint64(i+3), 18, 1)
+	}
+	b.ReportMetric(last.At18mFacing, "dB-at-18m-facing")
+}
+
+func BenchmarkFig13MultiNode(b *testing.B) {
+	var last experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig13(uint64(i+5), []int{1, 2, 5, 10, 20}, 3)
+	}
+	b.ReportMetric(last.MeanAt20, "dB-mean-at-20-nodes")
+}
+
+func BenchmarkTable1Comparison(b *testing.B) {
+	var nj float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1()
+		nj = t.Platforms[0].EnergyPerBitNJ()
+	}
+	b.ReportMetric(nj, "nJ-per-bit")
+}
+
+func BenchmarkMicroMaxRate(b *testing.B) {
+	var r experiments.MicroResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Micro()
+	}
+	b.ReportMetric(r.MaxBitRateBps/1e6, "Mbps-max")
+}
+
+func BenchmarkMicroEnergyPerBit(b *testing.B) {
+	var r experiments.MicroResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Micro()
+	}
+	b.ReportMetric(r.EnergyPerBitNJ, "nJ-per-bit")
+}
+
+func BenchmarkAblationBeams(b *testing.B) {
+	var r experiments.AblationBeamsResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationBeams(uint64(i+11), 200)
+	}
+	b.ReportMetric(100*r.FracIndistinguishableNonOrtho, "pct-indist-nonortho")
+	b.ReportMetric(100*r.FracIndistinguishableOrtho, "pct-indist-ortho")
+}
+
+func BenchmarkAblationModality(b *testing.B) {
+	var r experiments.AblationModalityResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationModality(uint64(i+13), 200)
+	}
+	b.ReportMetric(100*r.FracDecodableJoint, "pct-joint-decodable")
+}
+
+func BenchmarkAblationTMA(b *testing.B) {
+	var r experiments.AblationTMAResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationTMA(uint64(i+17), 100)
+	}
+	b.ReportMetric(r.Rows[len(r.Rows)-1].MeanSuppressionDB, "dB-suppression-16elem")
+}
+
+func BenchmarkAblationSDM(b *testing.B) {
+	var r experiments.AblationSDMResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationSDM(uint64(i+19), 16, 40e6)
+	}
+	b.ReportMetric(float64(r.AdmittedHybrid), "nodes-admitted")
+	b.ReportMetric(r.MeanSINRHybrid, "dB-mean-SINR")
+}
+
+func BenchmarkAblationSearch(b *testing.B) {
+	var r experiments.AblationSearchResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationSearch(uint64(i + 23))
+	}
+	b.ReportMetric(float64(r.ExhaustiveProbes), "probes-exhaustive")
+	b.ReportMetric(r.SearchEnergyPerDayJ, "J-per-day-searching")
+}
+
+// End-to-end pipeline benches: the per-frame cost of the actual
+// modulation/demodulation path, the number that would gate a real-time
+// software AP.
+
+func BenchmarkOTAMFrameRoundtrip(b *testing.B) {
+	env := NewEnvironment(10, 6, 1)
+	link := env.NewLink(Facing(1, 3, 6, 3), Pose{X: 6, Y: 3, FacingRad: 3.14159})
+	payload := []byte("benchmark frame payload....")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		capture, err := link.Send(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := link.Receive(capture, len(payload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetworkSINREvaluation(b *testing.B) {
+	env := NewLabEnvironment(2)
+	nw := env.NewNetwork(Pose{X: 0.3, Y: 2}, 3)
+	for i := 1; i <= 20; i++ {
+		x := 1 + float64(i%5)
+		y := 0.5 + float64(i%4)*0.8
+		if _, err := nw.Join(uint32(i), Facing(x, y, 0.3, 2), 10e6, CameraTraffic(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Reports()
+	}
+}
+
+func BenchmarkExtFEC(b *testing.B) {
+	var r experiments.ExtFECResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtFEC(uint64(i+1), 100)
+	}
+	b.ReportMetric(float64(r.DeliveredCoded)/float64(r.Trials), "coded-delivery")
+	b.ReportMetric(float64(r.DeliveredUncoded)/float64(r.Trials), "uncoded-delivery")
+}
+
+func BenchmarkExtNarrowBeam(b *testing.B) {
+	var r experiments.ExtNarrowBeamResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtNarrowBeam(uint64(i + 2))
+	}
+	b.ReportMetric(r.Rows[len(r.Rows)-1].RangeAt10dBm, "m-range-8elem")
+}
+
+func BenchmarkExtBackside(b *testing.B) {
+	var r experiments.ExtBacksideResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtBackside(uint64(i + 3))
+	}
+	b.ReportMetric(r.BackSNRExtended-r.BackSNRStandard, "dB-back-gain")
+}
+
+func BenchmarkExt60GHz(b *testing.B) {
+	var r experiments.Ext60GHzResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Ext60GHz(uint64(i + 4))
+	}
+	b.ReportMetric(float64(r.Capacity60), "channels-60ghz")
+}
+
+func BenchmarkExtMobility(b *testing.B) {
+	var r experiments.ExtMobilityResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtMobility(uint64(i + 5))
+	}
+	b.ReportMetric(100*r.OTAMUsableFrac, "pct-otam-usable")
+	b.ReportMetric(float64(r.Searches), "searches")
+}
+
+func BenchmarkExtRate(b *testing.B) {
+	var r experiments.ExtRateResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtRate(uint64(i+5), 60, 3, 1e-6)
+	}
+	b.ReportMetric(r.RangeAt1Mbps, "m-range-1Mbps")
+}
+
+func BenchmarkAblationFilter(b *testing.B) {
+	var r experiments.AblationFilterResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationFilter(uint64(i + 3))
+	}
+	last := r.Rows[len(r.Rows)-1]
+	b.ReportMetric(last.SINRWithFilter-last.SINRNoFilter, "dB-filter-gain-26GHz")
+}
+
+func BenchmarkExtScale(b *testing.B) {
+	var r experiments.ExtScaleResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtScale(uint64(i+1), 40)
+	}
+	b.ReportMetric(100*r.Usable60, "pct-usable-60GHz")
+	b.ReportMetric(100*r.Usable24, "pct-usable-24GHz")
+}

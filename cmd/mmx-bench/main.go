@@ -1,0 +1,59 @@
+// Command mmx-bench regenerates the paper's evaluation artifacts — every
+// figure (7–13) and Table 1, plus the §9.1 microbenchmarks and the design
+// ablations — and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	mmx-bench                 # run everything
+//	mmx-bench fig10 fig11     # run selected experiments
+//	mmx-bench -list           # list experiment IDs
+//	mmx-bench -seed 7 fig13   # change the reproduction seed
+//	mmx-bench -csv fig12      # machine-readable series (where tabular)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmx/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "seed for every stochastic experiment")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables (tabular experiments only)")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-18s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range all {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		result := e.Run(*seed)
+		if *csv {
+			if c, ok := result.(interface{ CSV() string }); ok {
+				fmt.Print(c.CSV())
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s has no CSV form; printing the table\n", e.ID)
+		}
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Paper)
+		fmt.Println(result)
+	}
+}

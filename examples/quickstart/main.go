@@ -1,0 +1,58 @@
+// Quickstart: place one mmX node and one access point in a room, inspect
+// the link budget, and push a real frame through the full over-the-air
+// modulation pipeline (OTAM synthesis → channel → noise → preamble sync →
+// joint ASK-FSK decode → CRC).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mmx"
+)
+
+func main() {
+	// A 10 m x 6 m room; the seed fixes wall reflectivity and noise.
+	env := mmx.NewEnvironment(10, 6, 42)
+
+	// AP on the right wall looking left; node on the left looking at it.
+	ap := mmx.Pose{X: 9, Y: 3, FacingRad: math.Pi}
+	node := mmx.Facing(1, 3, ap.X, ap.Y)
+	link := env.NewLink(node, ap)
+
+	q := link.Quality()
+	fmt.Printf("link budget: SNR %.1f dB (fixed-beam baseline %.1f dB), BER %.1e\n",
+		q.SNRdB, q.FixedBeamSNRdB, q.BER)
+
+	payload := []byte("hello, millimeter wave world")
+	capture, err := link.Send(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transmitted %d bytes as %d IQ samples\n", len(payload), len(capture))
+
+	res, err := link.Receive(capture, len(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decoded via %s: %q\n", res.Mode, res.Payload)
+
+	// Now twist the node 30° so the AP falls into Beam 1's null — the
+	// pose that kills a fixed-beam radio. OTAM shrugs: the receiver
+	// notices the inverted amplitude mapping and decodes anyway.
+	node.FacingRad += 30 * math.Pi / 180
+	link.SetNodePose(node)
+	q = link.Quality()
+	fmt.Printf("\nafter a 30° twist: SNR %.1f dB with OTAM vs %.1f dB fixed-beam\n",
+		q.SNRdB, q.FixedBeamSNRdB)
+	capture, err = link.Send(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = link.Receive(capture, len(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("still decodes (inverted=%v): %q\n", res.Inverted, res.Payload)
+}

@@ -1,0 +1,62 @@
+// Smart home: the paper's motivating deployment (§1) — security cameras,
+// a TV streamer and telemetry sensors all connected to a single home hub
+// over 24 GHz, with family members walking through the living room. FDM
+// slices the ISM band by demand; the discrete-event run shows every
+// stream surviving the blockage dynamics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmx"
+)
+
+func main() {
+	// An 8 m x 5 m living room, hub on a side wall.
+	env := mmx.NewEnvironment(8, 5, 7)
+	hub := mmx.Pose{X: 0.3, Y: 2.5, FacingRad: 0}
+	nw := env.NewNetwork(hub, 11)
+
+	type device struct {
+		id     uint32
+		name   string
+		pose   mmx.Pose
+		demand float64
+		tr     mmx.Traffic
+	}
+	devices := []device{
+		{1, "door camera", mmx.Facing(7.5, 0.6, hub.X, hub.Y), 10e6, mmx.CameraTraffic(10)},
+		{2, "patio camera", mmx.Facing(7.5, 4.4, hub.X, hub.Y), 8e6, mmx.CameraTraffic(8)},
+		{3, "nursery camera", mmx.Facing(4.0, 4.5, hub.X, hub.Y), 8e6, mmx.CameraTraffic(8)},
+		{4, "4K television", mmx.Facing(5.0, 2.5, hub.X, hub.Y), 25e6, mmx.CameraTraffic(25)},
+		{5, "thermostat", mmx.Facing(2.0, 0.5, hub.X, hub.Y), 1e5, mmx.TelemetryTraffic(0.5)},
+		{6, "smoke sensor", mmx.Facing(3.0, 4.0, hub.X, hub.Y), 1e5, mmx.TelemetryTraffic(1.0)},
+	}
+	fmt.Println("initialization (one-time channel allocation over the control link):")
+	for _, d := range devices {
+		info, err := nw.Join(d.id, d.pose, d.demand, d.tr)
+		if err != nil {
+			log.Fatalf("%s: %v", d.name, err)
+		}
+		fmt.Printf("  %-15s -> %5.1f MHz at %.4f GHz\n",
+			d.name, info.WidthHz/1e6, info.ChannelHz/1e9)
+	}
+
+	// Two people wander through the room for the whole run.
+	env.AddBlocker(3, 2.5, 0.7, 0.3)
+	env.AddBlocker(5, 1.5, -0.4, 0.6)
+
+	fmt.Println("\nsimulating 5 seconds of family life...")
+	stats := nw.Run(5, 0.05, 10)
+
+	fmt.Printf("\n%-15s %-11s %-11s %-7s %-7s %-7s\n",
+		"device", "mean SINR", "min SINR", "sent", "lost", "outage")
+	for i, st := range stats.PerNode {
+		fmt.Printf("%-15s %-11.1f %-11.1f %-7d %-7d %.1f%%\n",
+			devices[i].name, st.MeanSINRdB, st.MinSINRdB,
+			st.FramesSent, st.FramesLost, 100*st.OutageFraction)
+	}
+	fmt.Printf("\naggregate goodput: %.1f Mbps — all without touching the 2.4 GHz WiFi band\n",
+		stats.TotalGoodputBps()/1e6)
+}

@@ -1,0 +1,3 @@
+module mmx
+
+go 1.22

@@ -1,0 +1,119 @@
+package antenna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"mmx/internal/units"
+)
+
+func TestExtendedNodeBeamsBackCoverage(t *testing.T) {
+	std := NewNodeBeams()
+	ext := NewExtendedNodeBeams()
+	// Standard node: almost nothing behind (back lobe only). Extended:
+	// full-strength Beam 1 at 180°.
+	back := math.Pi - 1e-9
+	if g := GainDB(std.Beam1, back); g > 0 {
+		t.Errorf("standard back gain = %.1f dBi, want weak", g)
+	}
+	if g := GainDB(ext.Beam1, back); math.Abs(g-NodePeakGainDBi) > 0.5 {
+		t.Errorf("extended back gain = %.1f dBi, want ≈%g", g, NodePeakGainDBi)
+	}
+	// Front behaviour unchanged.
+	if g := GainDB(ext.Beam1, 0); math.Abs(g-NodePeakGainDBi) > 0.5 {
+		t.Errorf("extended front gain = %.1f dBi", g)
+	}
+	// Beam 0's back lobes mirror the front ±30° arms.
+	backArm := math.Pi - units.Deg2Rad(30)
+	if g := GainDB(ext.Beam0, backArm); g < 0 {
+		t.Errorf("extended Beam 0 back arm = %.1f dBi", g)
+	}
+}
+
+func TestExtendedOrthogonalityPreserved(t *testing.T) {
+	ext := NewExtendedNodeBeams()
+	// Mutual nulls persist front and back.
+	for _, th := range []float64{0, math.Pi - 1e-9} {
+		if d := NullDepthAt(ext.Beam0, th, 4096); d < 15 {
+			t.Errorf("Beam 0 null at %.2f rad = %.1f dB", th, d)
+		}
+	}
+	for _, deg := range []float64{30, -30, 150, -150} {
+		if d := NullDepthAt(ext.Beam1, units.Deg2Rad(deg), 4096); d < 15 {
+			t.Errorf("Beam 1 null at %g° = %.1f dB", deg, d)
+		}
+	}
+}
+
+func TestMirroredSourcePicksStronger(t *testing.T) {
+	m := MirroredSource{Front: NewNodeBeam1()}
+	// At 90° both front and back are weak and equal-ish; no panic, and
+	// result is bounded by 1.
+	if f := cmplx.Abs(m.Field(math.Pi / 2)); f > 1 {
+		t.Errorf("mirrored field = %g", f)
+	}
+}
+
+func TestNarrowNodeBeamsGainAndWidth(t *testing.T) {
+	std := NewNodeBeams()
+	for _, n := range []int{4, 8} {
+		nar := NewNarrowNodeBeams(n)
+		wantGain := NodePeakGainDBi + 10*math.Log10(float64(n)/2)
+		if g := GainDB(nar.Beam1, 0); math.Abs(g-wantGain) > 0.3 {
+			t.Errorf("%d-element peak gain = %.1f dBi, want %.1f", n, g, wantGain)
+		}
+		// Narrower than the 2-element beam.
+		stdW := HalfPowerBeamwidth(std.Beam1, 0)
+		narW := HalfPowerBeamwidth(nar.Beam1, 0)
+		if narW >= stdW {
+			t.Errorf("%d-element HPBW %.1f° not narrower than %.1f°",
+				n, units.Rad2Deg(narW), units.Rad2Deg(stdW))
+		}
+		// The ±30° null that keeps the pair orthogonal must survive.
+		if d := NullDepthAt(nar.Beam1, units.Deg2Rad(30), 4096); d < 15 {
+			t.Errorf("%d-element Beam 1 null at 30° = %.1f dB", n, d)
+		}
+		if d := NullDepthAt(nar.Beam0, 0, 4096); d < 15 {
+			t.Errorf("%d-element Beam 0 broadside null = %.1f dB", n, d)
+		}
+	}
+}
+
+func TestNarrowNodeBeamsClamping(t *testing.T) {
+	// Degenerate requests fall back to sane arrays.
+	if got := NewNarrowNodeBeams(0); GainDB(got.Beam1, 0) < NodePeakGainDBi-0.5 {
+		t.Error("elems<2 should clamp to the standard pair")
+	}
+	odd := NewNarrowNodeBeams(5) // rounds to 6
+	want := NodePeakGainDBi + 10*math.Log10(3)
+	if g := GainDB(odd.Beam1, 0); math.Abs(g-want) > 0.3 {
+		t.Errorf("odd clamp gain = %.1f, want %.1f", g, want)
+	}
+}
+
+func TestFieldOfViewTradeoff(t *testing.T) {
+	// The §9.1 tradeoff: more elements → more range (gain) but less FoV.
+	fov2 := FieldOfView(NewNodeBeams(), 10, 2048)
+	fov8 := FieldOfView(NewNarrowNodeBeams(8), 10, 2048)
+	if fov8 >= fov2 {
+		t.Errorf("8-element FoV %.0f° should be below 2-element %.0f°",
+			units.Rad2Deg(fov8), units.Rad2Deg(fov2))
+	}
+	// The standard node's FoV is ≈120° (the paper's number).
+	if deg := units.Rad2Deg(fov2); deg < 80 || deg > 160 {
+		t.Errorf("standard FoV = %.0f°, paper reports 120°", deg)
+	}
+	// The mirrored node covers the back too: total coverage doubles
+	// (the back region is disjoint from the front, so FieldOfView's
+	// contiguous span stays the same but CoverageFraction grows).
+	covStd := CoverageFraction(NewNodeBeams(), 10, 4096)
+	covExt := CoverageFraction(NewExtendedNodeBeams(), 10, 4096)
+	if covExt < 1.8*covStd {
+		t.Errorf("extended coverage %.2f should be ≈2x standard %.2f", covExt, covStd)
+	}
+	// Degenerate sample count is clamped.
+	if FieldOfView(NewNodeBeams(), 10, 1) <= 0 {
+		t.Error("clamped FieldOfView should still work")
+	}
+}

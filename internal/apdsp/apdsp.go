@@ -1,0 +1,148 @@
+// Package apdsp implements the access point's wideband receive signal
+// processing: the AP digitizes the whole 250 MHz ISM band at once (§5.2's
+// baseband processor) and must split it back into per-node links. Two
+// mechanisms compose:
+//
+//   - Channelizer — FDM: mix each node's allocated channel down to
+//     baseband, low-pass to the channel width, and decimate to the
+//     per-channel processing rate, then hand the stream to the modem.
+//   - SDMSeparator — spatial reuse: co-channel nodes arrive from
+//     different angles; the time-modulated array has hashed them onto
+//     different switching harmonics, so extracting a harmonic and
+//     decimating yields one node's stream.
+//
+// Together with modem.StreamReceiver this is the full software AP: one
+// wideband capture in, every node's frames out.
+//
+// Channel-planning constraint: the TMA translates every arriving signal
+// by its angle's harmonic (±k·f_p), so the AP must assign FDM channels
+// such that the post-TMA frequencies C + m·f_p stay disjoint across
+// nodes — see cmd/mmx-ap for a worked plan.
+package apdsp
+
+import (
+	"errors"
+	"math"
+
+	"mmx/internal/dsp"
+	"mmx/internal/modem"
+	"mmx/internal/tma"
+)
+
+// Channelizer splits a wideband capture into per-channel basebands.
+type Channelizer struct {
+	// WidebandRate is the capture's complex sample rate (Hz).
+	WidebandRate float64
+	// CenterHz is the RF frequency at the capture's baseband zero (the
+	// LO chain's net down-conversion target, e.g. the ISM band center).
+	CenterHz float64
+	// TransitionFraction widens the anti-alias filter's cutoff beyond
+	// half the channel width (default 0.25 when zero).
+	TransitionFraction float64
+	// Taps sets the anti-alias FIR length (default 129 when zero).
+	Taps int
+}
+
+// NewChannelizer returns a channelizer for a capture of the given rate
+// centered at centerHz.
+func NewChannelizer(widebandRate, centerHz float64) *Channelizer {
+	return &Channelizer{WidebandRate: widebandRate, CenterHz: centerHz}
+}
+
+// Errors from channel extraction.
+var (
+	ErrBadChannel = errors.New("apdsp: channel not representable in this capture")
+	ErrBadRate    = errors.New("apdsp: output rate must integer-divide the wideband rate")
+)
+
+// Extract returns the baseband stream of one FDM channel: the capture
+// mixed down by (channelHz − CenterHz), low-passed to the channel, and
+// decimated to outRate.
+func (c *Channelizer) Extract(x []complex128, channelHz, widthHz, outRate float64) ([]complex128, error) {
+	offset := channelHz - c.CenterHz
+	if math.Abs(offset)+widthHz/2 > c.WidebandRate/2 {
+		return nil, ErrBadChannel
+	}
+	if outRate <= 0 || outRate > c.WidebandRate {
+		return nil, ErrBadRate
+	}
+	factor := c.WidebandRate / outRate
+	if math.Abs(factor-math.Round(factor)) > 1e-9 {
+		return nil, ErrBadRate
+	}
+	tf := c.TransitionFraction
+	if tf <= 0 {
+		tf = 0.25
+	}
+	taps := c.Taps
+	if taps <= 0 {
+		taps = 129
+	}
+	y := dsp.MixDown(x, offset, c.WidebandRate)
+	lp := dsp.LowPass(widthHz/2*(1+tf), c.WidebandRate, taps)
+	y = lp.Filter(y)
+	return dsp.Decimate(y, int(math.Round(factor))), nil
+}
+
+// ChannelConfig returns the modem numerology for a channel extracted at
+// outRate: symbol rate unchanged, FSK tones at ±fskOffset/2.
+func ChannelConfig(outRate, symbolRate, fskOffsetHz float64) modem.Config {
+	return modem.Config{
+		SampleRate: outRate,
+		SymbolRate: symbolRate,
+		F0:         -fskOffsetHz / 2,
+		F1:         +fskOffsetHz / 2,
+	}
+}
+
+// SDMSeparator recovers co-channel nodes from the TMA's single-chain
+// output.
+type SDMSeparator struct {
+	// Array is the AP's time-modulated array (its switching rate sets
+	// the harmonic spacing, which must exceed the channel bandwidth).
+	Array *tma.Array
+	// WidebandRate is the capture rate of the TMA output.
+	WidebandRate float64
+}
+
+// NewSDMSeparator wraps a TMA for waveform-level separation.
+func NewSDMSeparator(a *tma.Array, widebandRate float64) *SDMSeparator {
+	return &SDMSeparator{Array: a, WidebandRate: widebandRate}
+}
+
+// ErrHarmonicOverlap reports a switching rate too slow for the channel:
+// adjacent harmonics would alias into the signal bandwidth.
+var ErrHarmonicOverlap = errors.New("apdsp: TMA switching rate below channel bandwidth")
+
+// CheckChannel verifies the TMA's harmonic spacing can separate signals
+// of the given channel width (adjacent harmonics must not overlap).
+func (s *SDMSeparator) CheckChannel(channelWidthHz float64) error {
+	if s.Array.SwitchRateHz < channelWidthHz {
+		return ErrHarmonicOverlap
+	}
+	return nil
+}
+
+// Shift translates the capture so that the given TMA harmonic moves to
+// the harmonic-0 position: after the shift, the node parked on that
+// harmonic sits on its ordinary FDM channel and the Channelizer's
+// band-selection filter rejects the other co-channel nodes (their
+// strongest copies now sit ±k·f_p away). Filtering and decimation are
+// deliberately left to the Channelizer so channels anywhere in the band
+// survive (a post-mix boxcar would null channels at harmonic multiples).
+func (s *SDMSeparator) Shift(y []complex128, harmonic int) []complex128 {
+	if harmonic == 0 {
+		return append([]complex128(nil), y...)
+	}
+	return dsp.MixDown(y, float64(harmonic)*s.Array.SwitchRateHz, s.WidebandRate)
+}
+
+// NodeCapture describes one co-channel transmission for SDM synthesis in
+// tests and demos: its angle of arrival and wideband waveform.
+type NodeCapture = tma.Source
+
+// MixSDM runs the TMA over co-channel node waveforms — the AP-side
+// counterpart of several nodes transmitting at once on one channel.
+func (s *SDMSeparator) MixSDM(nodes []NodeCapture) []complex128 {
+	return s.Array.Mix(nodes, s.WidebandRate)
+}

@@ -1,0 +1,74 @@
+package channel
+
+import "math"
+
+// Path describes a moving device's trajectory as straight segments between
+// waypoints, traversed at constant speed. It models the §6 mobility that
+// forces conventional radios into continuous beam re-searching: a robot
+// vacuum with a camera, a handheld device, a drone in a warehouse.
+type Waypoints struct {
+	Points []Vec2
+	// SpeedMps is the traversal speed along the path.
+	SpeedMps float64
+	// OrientationWobbleRad adds a sinusoidal yaw wobble around the
+	// direction of travel (platform vibration / handheld shake).
+	OrientationWobbleRad float64
+	// WobbleHz is the wobble frequency.
+	WobbleHz float64
+}
+
+// Length returns the total path length in meters.
+func (w Waypoints) Length() float64 {
+	total := 0.0
+	for i := 1; i < len(w.Points); i++ {
+		total += w.Points[i].Dist(w.Points[i-1])
+	}
+	return total
+}
+
+// Duration returns the time to traverse the whole path.
+func (w Waypoints) Duration() float64 {
+	if w.SpeedMps <= 0 {
+		return math.Inf(1)
+	}
+	return w.Length() / w.SpeedMps
+}
+
+// PoseAt returns the moving device's pose at time t: position interpolated
+// along the path (clamped to the endpoints) and orientation along the
+// direction of travel plus the wobble term.
+func (w Waypoints) PoseAt(t float64) Pose {
+	if len(w.Points) == 0 {
+		return Pose{}
+	}
+	if len(w.Points) == 1 || w.SpeedMps <= 0 {
+		return Pose{Pos: w.Points[0]}
+	}
+	dist := t * w.SpeedMps
+	if dist < 0 {
+		dist = 0
+	}
+	heading := 0.0
+	pos := w.Points[len(w.Points)-1]
+	for i := 1; i < len(w.Points); i++ {
+		seg := w.Points[i].Sub(w.Points[i-1])
+		segLen := seg.Len()
+		if dist <= segLen || i == len(w.Points)-1 && dist <= segLen+1e-9 {
+			frac := 1.0
+			if segLen > 0 {
+				frac = dist / segLen
+				if frac > 1 {
+					frac = 1
+				}
+			}
+			pos = w.Points[i-1].Add(seg.Scale(frac))
+			heading = seg.Angle()
+			wobble := w.OrientationWobbleRad * math.Sin(2*math.Pi*w.WobbleHz*t)
+			return Pose{Pos: pos, Orientation: heading + wobble}
+		}
+		dist -= segLen
+		heading = seg.Angle()
+	}
+	wobble := w.OrientationWobbleRad * math.Sin(2*math.Pi*w.WobbleHz*t)
+	return Pose{Pos: pos, Orientation: heading + wobble}
+}

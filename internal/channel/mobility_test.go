@@ -1,0 +1,109 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func squarePath() Waypoints {
+	return Waypoints{
+		Points:   []Vec2{{0, 0}, {4, 0}, {4, 3}, {0, 3}},
+		SpeedMps: 1,
+	}
+}
+
+func TestWaypointsLengthDuration(t *testing.T) {
+	w := squarePath()
+	if l := w.Length(); math.Abs(l-11) > 1e-12 {
+		t.Errorf("Length = %g, want 11", l)
+	}
+	if d := w.Duration(); math.Abs(d-11) > 1e-12 {
+		t.Errorf("Duration = %g", d)
+	}
+	if !math.IsInf((Waypoints{Points: []Vec2{{0, 0}, {1, 0}}}).Duration(), 1) {
+		t.Error("zero speed should never finish")
+	}
+}
+
+func TestWaypointsPoseAt(t *testing.T) {
+	w := squarePath()
+	// t=2: 2 m along the first leg, heading +x.
+	p := w.PoseAt(2)
+	if p.Pos.Dist(Vec2{2, 0}) > 1e-9 {
+		t.Errorf("PoseAt(2) = %v", p.Pos)
+	}
+	if math.Abs(p.Orientation) > 1e-9 {
+		t.Errorf("heading = %g", p.Orientation)
+	}
+	// t=5: 1 m up the second leg, heading +y.
+	p = w.PoseAt(5)
+	if p.Pos.Dist(Vec2{4, 1}) > 1e-9 {
+		t.Errorf("PoseAt(5) = %v", p.Pos)
+	}
+	if math.Abs(p.Orientation-math.Pi/2) > 1e-9 {
+		t.Errorf("heading = %g", p.Orientation)
+	}
+	// Past the end: clamps to the final waypoint.
+	p = w.PoseAt(100)
+	if p.Pos.Dist(Vec2{0, 3}) > 1e-9 {
+		t.Errorf("PoseAt(end) = %v", p.Pos)
+	}
+	// Negative time clamps to the start.
+	if w.PoseAt(-5).Pos.Dist(Vec2{0, 0}) > 1e-9 {
+		t.Error("negative time should clamp to start")
+	}
+}
+
+func TestWaypointsDegenerate(t *testing.T) {
+	if (Waypoints{}).PoseAt(3) != (Pose{}) {
+		t.Error("empty path should return zero pose")
+	}
+	single := Waypoints{Points: []Vec2{{2, 2}}, SpeedMps: 1}
+	if single.PoseAt(9).Pos != (Vec2{2, 2}) {
+		t.Error("single waypoint should stay put")
+	}
+}
+
+func TestWaypointsWobble(t *testing.T) {
+	w := squarePath()
+	w.OrientationWobbleRad = 0.3
+	w.WobbleHz = 1
+	// At t=0.25 (quarter period) the wobble is at its positive peak.
+	p := w.PoseAt(0.25)
+	if math.Abs(p.Orientation-0.3) > 1e-9 {
+		t.Errorf("wobbled heading = %g, want 0.3", p.Orientation)
+	}
+}
+
+func TestWaypointsStaysOnPathProperty(t *testing.T) {
+	w := squarePath()
+	f := func(ts uint16) bool {
+		tt := float64(ts) / 65535 * w.Duration()
+		p := w.PoseAt(tt).Pos
+		// Every sampled position must lie on one of the segments.
+		for i := 1; i < len(w.Points); i++ {
+			if (Segment{w.Points[i-1], w.Points[i]}).DistanceTo(p) < 1e-9 {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaypointsContinuousProperty(t *testing.T) {
+	// Position is continuous: small dt, small displacement.
+	w := squarePath()
+	f := func(ts uint16) bool {
+		tt := float64(ts) / 65535 * (w.Duration() - 0.01)
+		a := w.PoseAt(tt).Pos
+		b := w.PoseAt(tt + 0.01).Pos
+		return a.Dist(b) <= w.SpeedMps*0.011
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+
+	"mmx/internal/antenna"
+	"mmx/internal/units"
+)
+
+// PathGain returns the complex field gain contributed by one path between
+// a transmit antenna (pose + pattern) and a receive antenna: the product
+// of both patterns' field gains at the path's departure/arrival angles,
+// the free-space amplitude decay λ/(4πd), the reflection and blockage
+// losses, and the carrier phase accumulated over the path length.
+func (e *Environment) PathGain(p Path, txPose Pose, txPat antenna.Pattern, rxPose Pose, rxPat antenna.Pattern) complex128 {
+	if p.Length <= 0 {
+		return 0
+	}
+	lambda := units.Wavelength(e.FreqHz)
+	dep := wrap(p.DepartureAngle - txPose.Orientation)
+	arr := wrap(p.ArrivalAngle - rxPose.Orientation)
+
+	// 2.5-D: a height difference lengthens the path and tilts both
+	// antennas' elevation patterns.
+	length := p.Length
+	elevFactor := 1.0
+	if dh := rxPose.Height - txPose.Height; dh != 0 {
+		length = math.Hypot(p.Length, dh)
+		elev := math.Atan2(math.Abs(dh), p.Length)
+		elevFactor = elevationGain(elev, e.TxElevationHPBW) *
+			elevationGain(elev, e.RxElevationHPBW)
+	}
+
+	amp := lambda / (4 * math.Pi * length) * elevFactor
+	amp *= math.Pow(10, -p.ExcessLossDB()/20)
+	phase := -2 * math.Pi * length / lambda
+
+	g := txPat.FieldGain(dep) * rxPat.FieldGain(arr)
+	return g * cmplx.Rect(amp, phase)
+}
+
+// elevationGain returns the field-amplitude factor of a cos-power
+// elevation pattern with the given half-power beamwidth at an elevation
+// offset from broadside. hpbw <= 0 disables the factor.
+func elevationGain(elev, hpbw float64) float64 {
+	if hpbw <= 0 {
+		return 1
+	}
+	c := math.Cos(elev)
+	if c <= 0 {
+		return 0.01
+	}
+	half := hpbw / 2
+	ch := math.Cos(half)
+	if ch <= 0 || ch >= 1 {
+		return 1
+	}
+	q := math.Log(0.5) / (2 * math.Log(ch))
+	g := math.Pow(c, q)
+	if g < 0.01 {
+		g = 0.01
+	}
+	return g
+}
+
+// Gain returns the total complex channel gain between two placed antennas:
+// the coherent sum over all propagation paths. |Gain|² is the power gain
+// of the link (linear), including both antenna gains.
+func (e *Environment) Gain(txPose Pose, txPat antenna.Pattern, rxPose Pose, rxPat antenna.Pattern) complex128 {
+	var h complex128
+	for _, p := range e.Paths(txPose.Pos, rxPose.Pos) {
+		h += e.PathGain(p, txPose, txPat, rxPose, rxPat)
+	}
+	return h
+}
+
+// GainDB returns the link power gain in dB (−Inf if no energy arrives).
+func (e *Environment) GainDB(txPose Pose, txPat antenna.Pattern, rxPose Pose, rxPat antenna.Pattern) float64 {
+	a := cmplx.Abs(e.Gain(txPose, txPat, rxPose, rxPat))
+	if a <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(a)
+}
+
+// BeamGains evaluates the channel separately for the node's two OTAM
+// beams — the pair of complex gains (h0 for Beam 0, h1 for Beam 1) whose
+// magnitude difference IS the over-the-air ASK modulation depth.
+func (e *Environment) BeamGains(nodePose Pose, beams antenna.NodeBeams, apPose Pose, apPat antenna.Pattern) (h0, h1 complex128) {
+	h0 = e.Gain(nodePose, beams.Beam0, apPose, apPat)
+	h1 = e.Gain(nodePose, beams.Beam1, apPose, apPat)
+	return h0, h1
+}
+
+// BestPathClass summarizes the dominant propagation regime between two
+// points, ignoring antennas: "los", "nlos" (LoS blocked but a reflection
+// survives), or "blocked" (everything crosses a blocker).
+func (e *Environment) BestPathClass(tx, rx Vec2) string {
+	paths := e.Paths(tx, rx)
+	if len(paths) == 0 {
+		return "blocked"
+	}
+	losClear := false
+	reflClear := false
+	for _, p := range paths {
+		if p.Reflections == 0 && p.BlockageLossDB == 0 {
+			losClear = true
+		}
+		if p.Reflections > 0 && p.BlockageLossDB == 0 {
+			reflClear = true
+		}
+	}
+	switch {
+	case losClear:
+		return "los"
+	case reflClear:
+		return "nlos"
+	default:
+		return "blocked"
+	}
+}

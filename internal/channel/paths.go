@@ -1,0 +1,176 @@
+package channel
+
+import (
+	"math"
+	"sort"
+)
+
+// Path is one propagation route from transmitter to receiver.
+type Path struct {
+	// Points traces the route: TX, any reflection points, RX.
+	Points []Vec2
+	// Length is the total traveled distance in meters.
+	Length float64
+	// DepartureAngle is the absolute azimuth of the first hop leaving TX.
+	DepartureAngle float64
+	// ArrivalAngle is the absolute azimuth of the last hop as seen from
+	// RX looking back toward the path (direction of arrival).
+	ArrivalAngle float64
+	// Reflections counts wall bounces (0 for LoS).
+	Reflections int
+	// ReflectionLossDB is the summed per-bounce loss.
+	ReflectionLossDB float64
+	// BlockageLossDB is the summed penetration loss of blockers crossed.
+	BlockageLossDB float64
+}
+
+// ExcessLossDB returns the path's loss beyond free space (reflections plus
+// blockage).
+func (p Path) ExcessLossDB() float64 { return p.ReflectionLossDB + p.BlockageLossDB }
+
+// Paths enumerates the propagation paths from tx to rx in the environment:
+// the direct path plus image-method reflections up to
+// Environment.MaxReflections bounces. mmWave indoor channels are sparse
+// (the paper cites "typically a few paths"), which this construction
+// reproduces: a handful of geometric paths, each with its own loss class.
+// Paths are returned strongest-class first (fewest reflections, shortest).
+func (e *Environment) Paths(tx, rx Vec2) []Path {
+	var out []Path
+
+	// Direct (LoS) path.
+	if tx != rx {
+		out = append(out, Path{
+			Points:         []Vec2{tx, rx},
+			Length:         tx.Dist(rx),
+			DepartureAngle: rx.Sub(tx).Angle(),
+			ArrivalAngle:   tx.Sub(rx).Angle(),
+			BlockageLossDB: e.pathObstructionLossDB([]Vec2{tx, rx}),
+		})
+	}
+
+	walls := e.Room.allWalls()
+	maxR := e.MaxReflections
+	if maxR >= 1 {
+		for wi := range walls {
+			if p, ok := e.firstOrderPath(tx, rx, walls, wi); ok {
+				out = append(out, p)
+			}
+		}
+	}
+	if maxR >= 2 {
+		for w1 := range walls {
+			for w2 := range walls {
+				if w1 == w2 {
+					continue
+				}
+				if p, ok := e.secondOrderPath(tx, rx, walls, w1, w2); ok {
+					out = append(out, p)
+				}
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reflections != out[j].Reflections {
+			return out[i].Reflections < out[j].Reflections
+		}
+		return out[i].Length < out[j].Length
+	})
+	return out
+}
+
+// firstOrderPath builds the single-bounce path off walls[wi], if the
+// geometric reflection point falls on the wall.
+func (e *Environment) firstOrderPath(tx, rx Vec2, walls []Wall, wi int) (Path, bool) {
+	w := walls[wi]
+	img := w.Seg.MirrorAcross(tx)
+	// The reflection point is where rx→img crosses the wall.
+	ray := Segment{rx, img}
+	t, u, ok := ray.Intersect(w.Seg)
+	if !ok || t <= 1e-9 || t >= 1-1e-9 || u < 1e-9 || u > 1-1e-9 {
+		return Path{}, false
+	}
+	rp := w.Seg.PointAt(u)
+	if rp.Dist(tx) < 1e-9 || rp.Dist(rx) < 1e-9 {
+		return Path{}, false
+	}
+	// A real reflection keeps both endpoints on the same side of the
+	// surface (matters for interior walls; boundary walls always pass).
+	if !sameSide(w.Seg, tx, rx) {
+		return Path{}, false
+	}
+	pts := []Vec2{tx, rp, rx}
+	return Path{
+		Points:           pts,
+		Length:           tx.Dist(rp) + rp.Dist(rx),
+		DepartureAngle:   rp.Sub(tx).Angle(),
+		ArrivalAngle:     rp.Sub(rx).Angle(),
+		Reflections:      1,
+		ReflectionLossDB: w.ReflectionLossDB,
+		BlockageLossDB:   e.pathObstructionLossDB(pts),
+	}, true
+}
+
+// secondOrderPath builds the double-bounce path hitting wall w1 then w2.
+func (e *Environment) secondOrderPath(tx, rx Vec2, walls []Wall, w1i, w2i int) (Path, bool) {
+	w1 := walls[w1i]
+	w2 := walls[w2i]
+	img1 := w1.Seg.MirrorAcross(tx)   // tx mirrored in w1
+	img2 := w2.Seg.MirrorAcross(img1) // then in w2
+	// Last bounce: rx→img2 crosses w2 at r2, strictly between the two.
+	ray2 := Segment{rx, img2}
+	t2, u2, ok := ray2.Intersect(w2.Seg)
+	if !ok || t2 <= 1e-9 || t2 >= 1-1e-9 || u2 < 1e-9 || u2 > 1-1e-9 {
+		return Path{}, false
+	}
+	r2 := w2.Seg.PointAt(u2)
+	// First bounce: r2→img1 crosses w1 at r1, strictly between the two.
+	ray1 := Segment{r2, img1}
+	t1, u1, ok := ray1.Intersect(w1.Seg)
+	if !ok || t1 <= 1e-9 || t1 >= 1-1e-9 || u1 < 1e-9 || u1 > 1-1e-9 {
+		return Path{}, false
+	}
+	r1 := w1.Seg.PointAt(u1)
+	if r1.Dist(tx) < 1e-9 || r2.Dist(rx) < 1e-9 || r1.Dist(r2) < 1e-9 {
+		return Path{}, false
+	}
+	// Both bounces must be true same-side reflections.
+	if !sameSide(w1.Seg, tx, r2) || !sameSide(w2.Seg, r1, rx) {
+		return Path{}, false
+	}
+	pts := []Vec2{tx, r1, r2, rx}
+	return Path{
+		Points:           pts,
+		Length:           tx.Dist(r1) + r1.Dist(r2) + r2.Dist(rx),
+		DepartureAngle:   r1.Sub(tx).Angle(),
+		ArrivalAngle:     r2.Sub(rx).Angle(),
+		Reflections:      2,
+		ReflectionLossDB: w1.ReflectionLossDB + w2.ReflectionLossDB,
+		BlockageLossDB:   e.pathObstructionLossDB(pts),
+	}, true
+}
+
+// sameSide reports whether a and b lie strictly on the same side of the
+// infinite line through s (points on the line count as neither side).
+func sameSide(s Segment, a, b Vec2) bool {
+	d := s.B.Sub(s.A)
+	ca := d.X*(a.Y-s.A.Y) - d.Y*(a.X-s.A.X)
+	cb := d.X*(b.Y-s.A.Y) - d.Y*(b.X-s.A.X)
+	return ca*cb > 0
+}
+
+// LoSBlocked reports whether the direct tx→rx path currently crosses any
+// blocker.
+func (e *Environment) LoSBlocked(tx, rx Vec2) bool {
+	return e.blockageLossDB(Segment{tx, rx}) > 0
+}
+
+// sanity guard used by tests: a path's length can never be shorter than
+// the straight-line distance.
+func (p Path) geometricallyValid() bool {
+	if len(p.Points) < 2 {
+		return false
+	}
+	direct := p.Points[0].Dist(p.Points[len(p.Points)-1])
+	return p.Length >= direct-1e-9 && !math.IsNaN(p.Length)
+}

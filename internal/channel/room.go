@@ -1,0 +1,204 @@
+package channel
+
+import (
+	"math"
+
+	"mmx/internal/stats"
+)
+
+// Wall is one reflecting surface of the room.
+type Wall struct {
+	Seg Segment
+	// ReflectionLossDB is the power lost at each bounce off this wall.
+	// The paper's §6.1 loss classes put NLoS paths 10–20 dB below LoS;
+	// per-wall losses are drawn from that range.
+	ReflectionLossDB float64
+	// PenetrationLossDB is the power lost by a path passing *through*
+	// the wall. Boundary walls are never crossed (the room is the
+	// world), so it only matters for interior walls; at 24 GHz drywall
+	// costs ≈5–10 dB and concrete is effectively opaque.
+	PenetrationLossDB float64
+}
+
+// Blocker is a human-scale obstacle (a standing or walking person, a
+// cabinet): any propagation path passing within Radius of Pos suffers
+// LossDB of additional attenuation. Velocity lets the environment move it.
+type Blocker struct {
+	Pos    Vec2
+	Radius float64
+	// LossDB is the penetration loss of this obstacle (10–15 dB for a
+	// person at 24 GHz, §6.1).
+	LossDB float64
+	// Vel is the blocker's walking velocity in m/s.
+	Vel Vec2
+}
+
+// Room is a rectangular space with four reflecting boundary walls and any
+// number of interior partitions (which both reflect and occlude).
+type Room struct {
+	Width, Height float64 // meters; walls at x∈{0,Width}, y∈{0,Height}
+	Walls         []Wall
+	// Interior partitions: reflecting surfaces inside the room that
+	// paths can also cross (paying PenetrationLossDB each time).
+	Interior []Wall
+}
+
+// NewRoom builds a rectangular room whose four walls get per-bounce
+// reflection losses drawn uniformly from [6, 14) dB using rng
+// (deterministic per seed). Together with the reflected path's extra
+// spreading loss (a few dB in room-scale geometry), the *total* NLoS
+// excess over LoS lands in the paper's 10–20 dB class (§6.1).
+func NewRoom(width, height float64, rng *stats.RNG) *Room {
+	corners := []Vec2{{0, 0}, {width, 0}, {width, height}, {0, height}}
+	r := &Room{Width: width, Height: height}
+	for i := range corners {
+		r.Walls = append(r.Walls, Wall{
+			Seg:              Segment{corners[i], corners[(i+1)%4]},
+			ReflectionLossDB: rng.Uniform(6, 14),
+		})
+	}
+	return r
+}
+
+// NewLabRoom returns the paper's evaluation space: the 6 m x 4 m lab of
+// §9.2 with standard-furniture reflectivity.
+func NewLabRoom(rng *stats.RNG) *Room {
+	return NewRoom(6, 4, rng)
+}
+
+// Contains reports whether p lies strictly inside the room.
+func (r *Room) Contains(p Vec2) bool {
+	return p.X > 0 && p.X < r.Width && p.Y > 0 && p.Y < r.Height
+}
+
+// AddInteriorWall places a partition inside the room. reflectLossDB is
+// the per-bounce loss; penetrationLossDB the through-loss. Typical 24 GHz
+// values: drywall ≈(8, 7), glass ≈(10, 3), concrete ≈(6, 40).
+func (r *Room) AddInteriorWall(seg Segment, reflectLossDB, penetrationLossDB float64) {
+	r.Interior = append(r.Interior, Wall{
+		Seg:               seg,
+		ReflectionLossDB:  reflectLossDB,
+		PenetrationLossDB: penetrationLossDB,
+	})
+}
+
+// allWalls returns every reflecting surface (boundary then interior).
+func (r *Room) allWalls() []Wall {
+	if len(r.Interior) == 0 {
+		return r.Walls
+	}
+	out := make([]Wall, 0, len(r.Walls)+len(r.Interior))
+	out = append(out, r.Walls...)
+	out = append(out, r.Interior...)
+	return out
+}
+
+// Environment is a complete propagation scene: a room, its moving
+// blockers, and the carrier frequency.
+type Environment struct {
+	Room     *Room
+	Blockers []*Blocker
+	// FreqHz is the carrier frequency (sets wavelength and FSPL).
+	FreqHz float64
+	// MaxReflections bounds the image-method order (0 = LoS only,
+	// 1 = single bounce, 2 = double bounce). Default 2.
+	MaxReflections int
+	// TxElevationHPBW and RxElevationHPBW are the elevation-plane
+	// half-power beamwidths (radians) applied when the two poses sit at
+	// different heights: the node's patches have a 65° elevation beam
+	// (§9.1) and the AP dipole 62° (§8.2). Zero disables the factor.
+	TxElevationHPBW, RxElevationHPBW float64
+}
+
+// NewEnvironment creates a scene at the 24 GHz ISM band center with the
+// paper's elevation beamwidths.
+func NewEnvironment(room *Room, freqHz float64) *Environment {
+	return &Environment{
+		Room: room, FreqHz: freqHz, MaxReflections: 2,
+		TxElevationHPBW: 65 * math.Pi / 180,
+		RxElevationHPBW: 62 * math.Pi / 180,
+	}
+}
+
+// AddBlocker places an obstacle in the scene.
+func (e *Environment) AddBlocker(b *Blocker) { e.Blockers = append(e.Blockers, b) }
+
+// Step advances all blockers by dt seconds, bouncing them off the walls so
+// "people walking around" (§9.2) stay inside the room.
+func (e *Environment) Step(dt float64) {
+	for _, b := range e.Blockers {
+		b.Pos = b.Pos.Add(b.Vel.Scale(dt))
+		if b.Pos.X < b.Radius {
+			b.Pos.X = b.Radius
+			b.Vel.X = math.Abs(b.Vel.X)
+		}
+		if b.Pos.X > e.Room.Width-b.Radius {
+			b.Pos.X = e.Room.Width - b.Radius
+			b.Vel.X = -math.Abs(b.Vel.X)
+		}
+		if b.Pos.Y < b.Radius {
+			b.Pos.Y = b.Radius
+			b.Vel.Y = math.Abs(b.Vel.Y)
+		}
+		if b.Pos.Y > e.Room.Height-b.Radius {
+			b.Pos.Y = e.Room.Height - b.Radius
+			b.Vel.Y = -math.Abs(b.Vel.Y)
+		}
+	}
+}
+
+// blockageLossDB sums the blocker losses along one segment (interior-wall
+// penetration is handled at path level by pathObstructionLossDB, which
+// can see reflection vertices).
+func (e *Environment) blockageLossDB(seg Segment) float64 {
+	loss := 0.0
+	for _, b := range e.Blockers {
+		if seg.DistanceTo(b.Pos) <= b.Radius {
+			loss += b.LossDB
+		}
+	}
+	return loss
+}
+
+// pathObstructionLossDB returns the total penetration loss a polyline
+// path pays: blocker losses per leg, plus interior-wall losses wherever
+// the path passes to the other side of a partition — either by a leg
+// strictly crossing it, or by a reflection vertex on another wall that
+// sits exactly on the partition (corner grazing) with its neighbours on
+// opposite sides. A genuine reflection *off* the partition keeps both
+// neighbours on the same side and is not charged.
+func (e *Environment) pathObstructionLossDB(points []Vec2) float64 {
+	loss := 0.0
+	for i := 1; i < len(points); i++ {
+		loss += e.blockageLossDB(Segment{points[i-1], points[i]})
+	}
+	const eps = 1e-9
+	for _, w := range e.Room.Interior {
+		d := w.Seg.B.Sub(w.Seg.A)
+		side := func(p Vec2) float64 {
+			return d.X*(p.Y-w.Seg.A.Y) - d.Y*(p.X-w.Seg.A.X)
+		}
+		for i := 1; i < len(points); i++ {
+			a, b := points[i-1], points[i]
+			sa, sb := side(a), side(b)
+			if sa*sb < 0 {
+				// Strict crossing: charge if it lands on the segment.
+				if _, u, ok := (Segment{a, b}).Intersect(w.Seg); ok && u >= 0 && u <= 1 {
+					loss += w.PenetrationLossDB
+				}
+			}
+		}
+		// Corner grazing: an interior vertex lying on the partition with
+		// straddling neighbours passes through it.
+		for i := 1; i < len(points)-1; i++ {
+			v := points[i]
+			if w.Seg.DistanceTo(v) > eps {
+				continue
+			}
+			if side(points[i-1])*side(points[i+1]) < 0 {
+				loss += w.PenetrationLossDB
+			}
+		}
+	}
+	return loss
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+
+	"mmx/internal/mac"
+	"mmx/internal/modem"
+	"mmx/internal/units"
+)
+
+// Rate adaptation (§5.1): the node changes its data rate by changing the
+// SPDT switching speed, and the AP sizes the matched-filter bandwidth to
+// the symbol rate. Slowing down shrinks the noise bandwidth, so a link
+// that cannot sustain 100 Mbps still closes at a lower rate — the mmWave
+// analogue of WiFi's MCS ladder, with no constellation changes needed.
+
+// RateLadder is the set of symbol rates (= bit rates) a node may use,
+// fastest first. The top step is the ADRF5020's 100 MHz toggle ceiling.
+var RateLadder = []float64{100e6, 50e6, 25e6, 10e6, 5e6, 2e6, 1e6, 500e3, 100e3}
+
+// snrAtRate rescales an evaluation's SNR from its configured bandwidth to
+// the bandwidth a given bit rate needs (noise power scales linearly with
+// bandwidth; signal power is unchanged).
+func snrAtRate(ev Evaluation, cfgBandwidth, rateBps float64) float64 {
+	bw := mac.BandwidthForRate(rateBps)
+	return ev.SNRWithOTAM + units.DB(cfgBandwidth/bw)
+}
+
+// AdaptRate returns the fastest ladder rate whose SNR (at that rate's
+// bandwidth) meets the target BER, or 0 if even the slowest rate cannot
+// close the link.
+func (l *Link) AdaptRate(targetBER float64) float64 {
+	ev := l.Evaluate()
+	required := modem.RequiredSNRForOOKBER(targetBER)
+	for _, rate := range RateLadder {
+		if snrAtRate(ev, l.Cfg.BandwidthHz, rate) >= required {
+			return rate
+		}
+	}
+	return 0
+}
+
+// AchievableRate returns the continuous-valued rate (bps, capped at the
+// switch ceiling) at which the link exactly meets the target BER —
+// useful for plotting rate-vs-distance curves without ladder
+// quantization.
+func (l *Link) AchievableRate(targetBER float64) float64 {
+	ev := l.Evaluate()
+	required := modem.RequiredSNRForOOKBER(targetBER)
+	// SNR(rate) = SNR(cfgBW) + 10log10(cfgBW / (1.25·rate)) ≥ required
+	// ⇒ rate ≤ cfgBW/1.25 · 10^((SNR(cfgBW) − required)/10).
+	margin := ev.SNRWithOTAM - required
+	rate := l.Cfg.BandwidthHz / 1.25 * math.Pow(10, margin/10)
+	if ceiling := RateLadder[0]; rate > ceiling {
+		return ceiling
+	}
+	// Below the allocator's 1 MHz channel floor the bandwidth stops
+	// shrinking, so slowing down buys nothing more: if the link cannot
+	// close at the floor bandwidth (rate 0.8 Mbps), it cannot close at
+	// all.
+	if rate < 1e6/1.25 {
+		return 0
+	}
+	return rate
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mmx/internal/channel"
+	"mmx/internal/dsp"
+	"mmx/internal/stats"
+	"mmx/internal/units"
+)
+
+func dspPower(x []complex128) float64 { return dsp.Power(x) }
+
+// facingLink builds a link in a room of the given size with the node at
+// (1, h/2) facing +x and the AP at (1+d, h/2) facing back at it.
+func facingLink(seed uint64, w, h, d float64) *Link {
+	rng := stats.NewRNG(seed)
+	room := channel.NewRoom(w, h, rng)
+	env := channel.NewEnvironment(room, units.ISM24GHzCenter)
+	node := channel.Pose{Pos: channel.Vec2{X: 1, Y: h / 2}, Orientation: 0}
+	ap := channel.Pose{Pos: channel.Vec2{X: 1 + d, Y: h / 2}, Orientation: math.Pi}
+	return NewLink(env, node, ap)
+}
+
+func TestEvaluateFacingSNRCalibration(t *testing.T) {
+	// The Fig. 12 calibration anchors: ≈40 dB at 1 m, ≥15 dB at 18 m.
+	l := facingLink(1, 21, 6, 1)
+	ev := l.Evaluate()
+	if ev.SNRWithOTAM < 34 || ev.SNRWithOTAM > 47 {
+		t.Errorf("SNR at 1 m = %.1f dB, want ≈40", ev.SNRWithOTAM)
+	}
+	l18 := facingLink(1, 21, 6, 18)
+	ev18 := l18.Evaluate()
+	if ev18.SNRWithOTAM < 11 || ev18.SNRWithOTAM > 22 {
+		t.Errorf("SNR at 18 m = %.1f dB, want ≈15", ev18.SNRWithOTAM)
+	}
+	if ev18.SNRWithOTAM >= ev.SNRWithOTAM {
+		t.Error("SNR should fall with distance")
+	}
+}
+
+func TestEvaluateFacingBeamRoles(t *testing.T) {
+	l := facingLink(2, 10, 6, 4)
+	ev := l.Evaluate()
+	// Facing: Beam 1 dominates, so OTAM peak == fixed-beam SNR and the
+	// mapping is not inverted.
+	if ev.Inverted {
+		t.Error("facing link should not be inverted")
+	}
+	if math.Abs(ev.SNRWithOTAM-ev.SNRWithoutOTAM) > 1e-9 {
+		t.Errorf("facing: OTAM %.2f vs fixed %.2f should match",
+			ev.SNRWithOTAM, ev.SNRWithoutOTAM)
+	}
+	// Healthy modulation depth on a clear LoS.
+	if ev.ASKDepth < 0.3 {
+		t.Errorf("ASK depth = %.2f, want deep", ev.ASKDepth)
+	}
+}
+
+func TestOTAMRescuesNullOrientation(t *testing.T) {
+	// Rotate the node so the AP sits at Beam 1's ±30° null: without OTAM
+	// the link collapses; with OTAM, Beam 0's peak covers it.
+	l := facingLink(3, 10, 6, 4)
+	l.Node.Orientation = 30 * math.Pi / 180
+	ev := l.Evaluate()
+	gain := ev.SNRWithOTAM - ev.SNRWithoutOTAM
+	if gain < 10 {
+		t.Errorf("OTAM gain at null orientation = %.1f dB, want >10", gain)
+	}
+	if !ev.Inverted {
+		t.Error("Beam 0 should dominate at the null orientation")
+	}
+}
+
+func TestBlockedLoSStillDecodable(t *testing.T) {
+	// A person on the LoS: SNR drops but OTAM keeps the better beam.
+	l := facingLink(4, 10, 6, 4)
+	clear := l.Evaluate()
+	l.Env.AddBlocker(&channel.Blocker{
+		Pos: channel.Vec2{X: 3, Y: 3}, Radius: 0.25, LossDB: 12,
+	})
+	blocked := l.Evaluate()
+	if blocked.SNRWithOTAM >= clear.SNRWithOTAM {
+		t.Error("blockage should cost SNR")
+	}
+	if blocked.SNRWithOTAM < 8 {
+		t.Errorf("blocked-LoS OTAM SNR = %.1f dB, want usable (>8)", blocked.SNRWithOTAM)
+	}
+}
+
+func TestBERHelpers(t *testing.T) {
+	l := facingLink(5, 10, 6, 3)
+	ev := l.Evaluate()
+	if ev.BERWithOTAM() > 1e-10 {
+		t.Errorf("BER at close range = %g", ev.BERWithOTAM())
+	}
+	if ev.JointBER() > math.Min(ev.ASKOnlyBER(), ev.FSKOnlyBER()) {
+		t.Error("joint BER must not exceed the better modality")
+	}
+	// Synthetic equal-loss evaluation: ASK blind, FSK fine.
+	eq := Evaluation{G0: 1e-5, G1: 1e-5, NoisePowerW: 1e-13, ASKDepth: 0, SNRWithOTAM: 30}
+	if eq.ASKOnlyBER() != 0.5 {
+		t.Errorf("equal-loss ASK BER = %g, want 0.5", eq.ASKOnlyBER())
+	}
+	if eq.FSKOnlyBER() > 1e-6 {
+		t.Errorf("equal-loss FSK BER = %g, want tiny", eq.FSKOnlyBER())
+	}
+	// One beam lost entirely: FSK blind, ASK fine.
+	lost := Evaluation{G0: 0, G1: 1e-5, NoisePowerW: 1e-13, ASKDepth: 1, SNRWithOTAM: 30}
+	if lost.FSKOnlyBER() != 0.5 {
+		t.Errorf("lost-beam FSK BER = %g, want 0.5", lost.FSKOnlyBER())
+	}
+	if lost.ASKOnlyBER() > 1e-6 {
+		t.Errorf("lost-beam ASK BER = %g, want tiny", lost.ASKOnlyBER())
+	}
+	if lost.JointBER() > 1e-6 || eq.JointBER() > 1e-6 {
+		t.Error("joint decoding should survive both corners")
+	}
+	zero := Evaluation{NoisePowerW: 0}
+	if zero.FSKOnlyBER() != 0.5 {
+		t.Error("degenerate evaluation should be 0.5")
+	}
+}
+
+func TestTransmitReceiveOTAMRoundtrip(t *testing.T) {
+	l := facingLink(6, 10, 6, 3)
+	rng := stats.NewRNG(99)
+	payload := []byte("over-the-air modulated frame")
+	x, err := l.TransmitOTAM(payload, 17, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := l.Receive(x, len(payload))
+	if err != nil {
+		t.Fatalf("receive: %v (mode %s)", err, res.Mode)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q", got)
+	}
+	if res.Offset != 17 {
+		t.Errorf("offset = %d", res.Offset)
+	}
+}
+
+func TestTransmitReceiveOTAMNullOrientation(t *testing.T) {
+	// Even with the node twisted 30° (fixed-beam death), OTAM frames
+	// decode — the headline robustness claim.
+	l := facingLink(7, 10, 6, 4)
+	l.Node.Orientation = 30 * math.Pi / 180
+	rng := stats.NewRNG(5)
+	payload := []byte("null orientation survives")
+	x, err := l.TransmitOTAM(payload, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := l.Receive(x, len(payload))
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q", got)
+	}
+	if !res.Inverted {
+		t.Error("receiver should have detected the inverted mapping")
+	}
+}
+
+func TestTransmitReceiveFixedBeamFacing(t *testing.T) {
+	l := facingLink(8, 10, 6, 3)
+	rng := stats.NewRNG(7)
+	payload := []byte("conventional ASK through beam 1")
+	x, err := l.TransmitFixedBeam(payload, 21, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := l.Receive(x, len(payload))
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestMeasureBEROTAMVsFixed(t *testing.T) {
+	// At the null orientation, fixed-beam BER should be catastrophic and
+	// OTAM near zero.
+	l := facingLink(9, 10, 6, 4)
+	l.Node.Orientation = 30 * math.Pi / 180
+	rng := stats.NewRNG(11)
+	otam := l.MeasureBER(6, 8, true, rng)
+	fixed := l.MeasureBER(6, 8, false, rng)
+	if otam > 0.001 {
+		t.Errorf("OTAM measured BER = %g", otam)
+	}
+	if fixed < 0.05 {
+		t.Errorf("fixed-beam measured BER = %g, want high at the null", fixed)
+	}
+}
+
+func TestTransmitTooLongPayload(t *testing.T) {
+	l := facingLink(10, 10, 6, 3)
+	rng := stats.NewRNG(1)
+	if _, err := l.TransmitOTAM(make([]byte, 1<<16), 0, rng); err == nil {
+		t.Error("oversized payload should error")
+	}
+	if _, err := l.TransmitFixedBeam(make([]byte, 1<<16), 0, rng); err == nil {
+		t.Error("oversized payload should error")
+	}
+}
+
+func TestNoisePowerW(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	// -174 dBm/Hz + 74 dB (25 MHz) + NF ≈ -97.7 dBm ≈ 1.7e-13 W.
+	n := cfg.NoisePowerW()
+	if n < 1e-13 || n > 3e-13 {
+		t.Errorf("noise power = %g W", n)
+	}
+}
+
+func TestDigitizedCaptureStillDecodes(t *testing.T) {
+	// The full acquisition chain: OTAM over the air → AGC → 14-bit ADC →
+	// demodulation. Quantization must be transparent at these SNRs.
+	l := facingLink(30, 10, 6, 4)
+	rng := stats.NewRNG(77)
+	payload := []byte("survives the ADC")
+	x, err := l.TransmitOTAM(payload, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digitized := Digitize(x)
+	// Scale genuinely changed (the raw capture is ~1e-5-amplitude).
+	if math.Abs(math.Sqrt(dspPower(digitized))-0.25) > 0.05 {
+		t.Errorf("digitized RMS = %g, want ≈0.25", math.Sqrt(dspPower(digitized)))
+	}
+	got, res, err := l.Receive(digitized, len(payload))
+	if err != nil {
+		t.Fatalf("receive after ADC: %v (mode %s)", err, res.Mode)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q", got)
+	}
+}

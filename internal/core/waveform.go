@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/cmplx"
+
+	"mmx/internal/dsp"
+	"mmx/internal/modem"
+	"mmx/internal/rf"
+	"mmx/internal/stats"
+)
+
+// TransmitOTAM synthesizes the AP's received complex baseband capture for
+// one frame sent with OTAM: the node's carrier hops between the F0/F1 VCO
+// settings and the Beam 0/Beam 1 propagation paths per bit, then receiver
+// noise is added at the configured noise floor. padSamples of dead air
+// precede the frame (the receiver must synchronize).
+func (l *Link) TransmitOTAM(payload []byte, padSamples int, rng *stats.RNG) ([]complex128, error) {
+	bits, err := modem.BuildFrame(payload)
+	if err != nil {
+		return nil, err
+	}
+	ev := l.Evaluate()
+	x := modem.Synthesize(l.Cfg.Modem, bits, ev.G0, ev.G1)
+	applyVCOPhaseNoise(x, l.Cfg.Modem.SampleRate, rng)
+	x = modem.PadRandomOffset(x, padSamples)
+	x = append(x, make([]complex128, l.Cfg.Modem.SamplesPerSymbol())...)
+	dsp.AddNoise(x, ev.NoisePowerW, rng)
+	return x, nil
+}
+
+// applyVCOPhaseNoise rotates the waveform by a free-running oscillator's
+// random-walk phase. The node VCO runs open-loop (no PLL — part of why
+// the node costs $110); envelope detection and tone discrimination are
+// insensitive to it, which this impairment keeps honest.
+func applyVCOPhaseNoise(x []complex128, sampleRate float64, rng *stats.RNG) {
+	track := rf.NewHMC533().PhaseNoiseTrack(len(x), sampleRate, rng)
+	for i := range x {
+		x[i] *= cmplx.Rect(1, track[i])
+	}
+}
+
+// TransmitFixedBeam synthesizes the baseline capture: the node modulates
+// ASK-FSK conventionally and radiates everything through Beam 1 (the
+// "without OTAM" scenario of §9.2). Bit 1 is full carrier, bit 0 is the
+// residual extinction amplitude; both traverse the same Beam 1 channel.
+func (l *Link) TransmitFixedBeam(payload []byte, padSamples int, rng *stats.RNG) ([]complex128, error) {
+	bits, err := modem.BuildFrame(payload)
+	if err != nil {
+		return nil, err
+	}
+	ev := l.Evaluate()
+	g1 := ev.G1
+	g0 := ev.G1 * complex(l.Cfg.ASKExtinction, 0)
+	x := modem.Synthesize(l.Cfg.Modem, bits, g0, g1)
+	applyVCOPhaseNoise(x, l.Cfg.Modem.SampleRate, rng)
+	x = modem.PadRandomOffset(x, padSamples)
+	x = append(x, make([]complex128, l.Cfg.Modem.SamplesPerSymbol())...)
+	dsp.AddNoise(x, ev.NoisePowerW, rng)
+	return x, nil
+}
+
+// Receive demodulates a capture produced by either transmit path and
+// returns the recovered payload.
+func (l *Link) Receive(x []complex128, payloadLen int) ([]byte, modem.DemodResult, error) {
+	d := modem.NewDemodulator(l.Cfg.Modem)
+	return d.Receive(x, payloadLen)
+}
+
+// MeasureBER Monte-Carlo-estimates the link's bit error rate by sending
+// frames of random payload bytes and counting bit errors in the decoded
+// frames (sync and inversion handled by the receiver). It returns the
+// observed BER over nFrames frames of payloadLen bytes each.
+func (l *Link) MeasureBER(nFrames, payloadLen int, useOTAM bool, rng *stats.RNG) float64 {
+	totalBits := 0
+	errBits := 0
+	d := modem.NewDemodulator(l.Cfg.Modem)
+	for f := 0; f < nFrames; f++ {
+		payload := make([]byte, payloadLen)
+		for i := range payload {
+			payload[i] = byte(rng.Uint64())
+		}
+		var x []complex128
+		var err error
+		if useOTAM {
+			x, err = l.TransmitOTAM(payload, rng.Intn(30), rng)
+		} else {
+			x, err = l.TransmitFixedBeam(payload, rng.Intn(30), rng)
+		}
+		if err != nil {
+			continue
+		}
+		want, _ := modem.BuildFrame(payload)
+		res, err := d.Demodulate(x, len(want))
+		totalBits += len(want)
+		if err != nil {
+			errBits += len(want)
+			continue
+		}
+		errBits += modem.CountBitErrors(res.Bits, want)
+	}
+	if totalBits == 0 {
+		return 1
+	}
+	return float64(errBits) / float64(totalBits)
+}
+
+// Digitize passes a capture through the AP's acquisition chain: block AGC
+// scaling into the ADC's range, then 14-bit quantization (the USRP-class
+// digitizer of §8.2). Received amplitudes are tens of microvolts-scale in
+// √W units — without the AGC a fixed-range converter would zero them.
+func Digitize(x []complex128) []complex128 {
+	out := append([]complex128(nil), x...)
+	adc := rf.NewUSRPN210()
+	dsp.NormalizeRMS(out, adc.FullScale/4) // headroom for ASK peaks
+	return adc.QuantizeIQ(out)
+}

@@ -1,0 +1,87 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"mmx/internal/stats"
+)
+
+func TestAGCConvergesToTarget(t *testing.T) {
+	a := NewAGC(0.5)
+	a.Rate = 1e-3 // fast for a short test
+	x := Tone(40000, 10e3, 3.7e-5, 0, 1e6)
+	y := a.Process(x)
+	// Steady-state output envelope ≈ target.
+	tail := Envelope(y[30000:])
+	mean := 0.0
+	for _, e := range tail {
+		mean += e
+	}
+	mean /= float64(len(tail))
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("steady-state envelope = %g, want ≈0.5", mean)
+	}
+}
+
+func TestAGCPreservesASKAtSlowRate(t *testing.T) {
+	// A slow loop must NOT flatten symbol-rate amplitude modulation:
+	// the high/low level ratio survives.
+	a := NewAGC(0.5)
+	fs, spb := 25e6, 25
+	var x []complex128
+	for s := 0; s < 400; s++ {
+		amp := 1e-5
+		if s%2 == 0 {
+			amp = 1e-4
+		}
+		x = append(x, Tone(spb, 250e3, amp, 0, fs)...)
+	}
+	// Pre-normalize coarse level so the loop operates near lock.
+	NormalizeRMS(x, 0.4)
+	y := a.Process(x)
+	// Compare mid-symbol envelopes late in the capture.
+	hi := Envelope(y[396*spb : 397*spb])
+	lo := Envelope(y[397*spb : 398*spb])
+	ratio := hi[spb/2] / lo[spb/2]
+	if ratio < 8 {
+		t.Errorf("ASK depth flattened: hi/lo = %.2f, want ≈10", ratio)
+	}
+}
+
+func TestAGCGainBounds(t *testing.T) {
+	a := NewAGC(1)
+	a.Rate = 1
+	a.MaxGain = 100
+	// Silence drives gain up to the bound, not to infinity.
+	a.Process(make([]complex128, 10000))
+	if a.Gain() > 100 {
+		t.Errorf("gain exploded: %g", a.Gain())
+	}
+	// Huge input drives it down to the floor, not below.
+	big := Tone(10000, 0, 1e9, 0, 1e6)
+	a.Process(big)
+	if a.Gain() < 1.0/100-1e-12 {
+		t.Errorf("gain under floor: %g", a.Gain())
+	}
+}
+
+func TestNormalizeRMS(t *testing.T) {
+	rng := stats.NewRNG(4)
+	x := make([]complex128, 5000)
+	AddNoise(x, 1e-10, rng)
+	g := NormalizeRMS(x, 0.25)
+	if g <= 0 {
+		t.Fatal("gain")
+	}
+	if rms := math.Sqrt(Power(x)); math.Abs(rms-0.25) > 1e-9 {
+		t.Errorf("RMS = %g, want 0.25", rms)
+	}
+	// Degenerate inputs are no-ops.
+	if NormalizeRMS(make([]complex128, 4), 0.5) != 1 {
+		t.Error("silent input should be untouched")
+	}
+	if NormalizeRMS(x, 0) != 1 {
+		t.Error("zero target should be untouched")
+	}
+}

@@ -1,0 +1,185 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x and returns a new slice.
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey; other lengths
+// use Bluestein's chirp-z algorithm, so any length is supported. An empty
+// input returns nil.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := append([]complex128(nil), x...)
+	if n&(n-1) == 0 {
+		radix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT computes the inverse DFT of x (normalized by 1/N) and returns a new
+// slice.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := append([]complex128(nil), x...)
+	if n&(n-1) == 0 {
+		radix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// radix2 performs an in-place iterative Cooley-Tukey FFT on a power-of-two
+// length slice. If inverse, the conjugate twiddles are used (without the
+// 1/N normalization).
+func radix2(a []complex128, inverse bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wBase
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of arbitrary length via the chirp-z transform,
+// expressing it as a convolution evaluated with power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = e^{sign * jπ k² / n}
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Reduce k² mod 2n to keep the angle argument small and precise.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out
+}
+
+// FFTFreqs returns the frequency (Hz) of each FFT bin for a given length and
+// sample rate, in standard FFT order (0..Fs/2, then negative frequencies).
+func FFTFreqs(n int, sampleRate float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if 2*i < n || (n%2 == 0 && 2*i == n) {
+			// Bins 0..⌈n/2⌉ map to non-negative frequencies; for even n
+			// the Nyquist bin n/2 is reported as +Fs/2.
+			out[i] = float64(i) * sampleRate / float64(n)
+		} else {
+			out[i] = float64(i-n) * sampleRate / float64(n)
+		}
+	}
+	return out
+}
+
+// PowerSpectrum returns |FFT(x)|²/N per bin, the periodogram estimate of the
+// power in each frequency bin.
+func PowerSpectrum(x []complex128) []float64 {
+	X := FFT(x)
+	out := make([]float64, len(X))
+	// Normalize by 1/N² so the sum over bins equals the mean power of x
+	// (Parseval's theorem).
+	inv2 := 1 / (float64(len(X)) * float64(len(X)))
+	for i, v := range X {
+		out[i] = (real(v)*real(v) + imag(v)*imag(v)) * inv2
+	}
+	return out
+}
+
+// DominantFrequency returns the frequency in Hz of the strongest spectral
+// bin of x at the given sample rate, resolving FFT ordering to a signed
+// frequency. It returns 0 for an empty input.
+func DominantFrequency(x []complex128, sampleRate float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	spec := PowerSpectrum(x)
+	freqs := FFTFreqs(len(x), sampleRate)
+	return freqs[ArgMax(spec)]
+}
+
+// STFT computes a short-time Fourier transform: the power spectrum of
+// consecutive (possibly overlapping) Hamming-windowed segments. It
+// returns one power-spectrum row per frame (each of length fftSize) —
+// the data behind a spectrogram. hop is the stride between frames.
+func STFT(x []complex128, fftSize, hop int) [][]float64 {
+	if fftSize < 2 || hop < 1 || len(x) < fftSize {
+		return nil
+	}
+	w := Hamming(fftSize)
+	var rows [][]float64
+	buf := make([]complex128, fftSize)
+	for start := 0; start+fftSize <= len(x); start += hop {
+		for i := 0; i < fftSize; i++ {
+			buf[i] = x[start+i] * complex(w[i], 0)
+		}
+		rows = append(rows, PowerSpectrum(buf))
+	}
+	return rows
+}

@@ -1,0 +1,211 @@
+package dsp
+
+import "math"
+
+// FIR is a finite-impulse-response filter defined by its real tap weights.
+// Apply it to complex IQ data with Filter.
+type FIR struct {
+	Taps []float64
+}
+
+// Hamming returns the n-point Hamming window.
+func Hamming(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// Blackman returns the n-point Blackman window.
+func Blackman(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		w[i] = 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+	}
+	return w
+}
+
+func sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return math.Sin(math.Pi*x) / (math.Pi * x)
+}
+
+// LowPass designs a windowed-sinc low-pass FIR with the given cutoff
+// frequency, sample rate, and number of taps (forced odd for a symmetric,
+// linear-phase filter). The passband gain is normalized to one.
+func LowPass(cutoffHz, sampleRate float64, taps int) *FIR {
+	if taps < 3 {
+		taps = 3
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	fc := cutoffHz / sampleRate // normalized cutoff (cycles/sample)
+	mid := taps / 2
+	w := Hamming(taps)
+	h := make([]float64, taps)
+	sum := 0.0
+	for i := range h {
+		h[i] = 2 * fc * sinc(2*fc*float64(i-mid)) * w[i]
+		sum += h[i]
+	}
+	// Normalize DC gain to exactly 1.
+	if sum != 0 {
+		for i := range h {
+			h[i] /= sum
+		}
+	}
+	return &FIR{Taps: h}
+}
+
+// BandPass designs a windowed-sinc band-pass FIR between loHz and hiHz.
+// The filter is the difference of two low-pass designs and is normalized to
+// unit gain at the band center.
+func BandPass(loHz, hiHz, sampleRate float64, taps int) *FIR {
+	if hiHz <= loHz {
+		panic("dsp: BandPass requires hiHz > loHz")
+	}
+	hi := LowPass(hiHz, sampleRate, taps)
+	lo := LowPass(loHz, sampleRate, taps)
+	h := make([]float64, len(hi.Taps))
+	for i := range h {
+		h[i] = hi.Taps[i] - lo.Taps[i]
+	}
+	f := &FIR{Taps: h}
+	// Normalize gain at band center.
+	center := (loHz + hiHz) / 2
+	g := f.GainAt(center, sampleRate)
+	if g > 0 {
+		for i := range f.Taps {
+			f.Taps[i] /= g
+		}
+	}
+	return f
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.Taps) }
+
+// Filter convolves x with the filter taps, returning a slice the same
+// length as x (the first len(taps)-1 outputs use an implicit zero history,
+// matching streaming behaviour).
+func (f *FIR) Filter(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for n := range x {
+		var acc complex128
+		for k, t := range f.Taps {
+			if n-k < 0 {
+				break
+			}
+			acc += x[n-k] * complex(t, 0)
+		}
+		out[n] = acc
+	}
+	return out
+}
+
+// FilterReal convolves a real signal with the taps.
+func (f *FIR) FilterReal(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for n := range x {
+		acc := 0.0
+		for k, t := range f.Taps {
+			if n-k < 0 {
+				break
+			}
+			acc += x[n-k] * t
+		}
+		out[n] = acc
+	}
+	return out
+}
+
+// GainAt evaluates the filter's amplitude response |H(f)| at a frequency.
+func (f *FIR) GainAt(freqHz, sampleRate float64) float64 {
+	w := 2 * math.Pi * freqHz / sampleRate
+	var re, im float64
+	for k, t := range f.Taps {
+		re += t * math.Cos(w*float64(k))
+		im -= t * math.Sin(w*float64(k))
+	}
+	return math.Hypot(re, im)
+}
+
+// GroupDelay returns the (constant) group delay in samples of this
+// linear-phase filter: (N-1)/2.
+func (f *FIR) GroupDelay() float64 {
+	return float64(len(f.Taps)-1) / 2
+}
+
+// Decimate keeps every factor-th sample of x, after the caller has applied
+// appropriate anti-alias filtering. factor must be >= 1.
+func Decimate(x []complex128, factor int) []complex128 {
+	if factor < 1 {
+		panic("dsp: Decimate factor must be >= 1")
+	}
+	out := make([]complex128, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// Upsample inserts factor-1 zeros between samples (to be followed by
+// interpolation filtering).
+func Upsample(x []complex128, factor int) []complex128 {
+	if factor < 1 {
+		panic("dsp: Upsample factor must be >= 1")
+	}
+	out := make([]complex128, len(x)*factor)
+	for i, v := range x {
+		out[i*factor] = v
+	}
+	return out
+}
+
+// Resample converts x between sample rates by the rational factor up/down
+// (polyphase conceptually: zero-stuff by up, interpolate with a low-pass
+// sized to the tighter of the two Nyquist bands, then keep every down-th
+// sample). The interpolation filter's gain compensates the zero-stuffing
+// loss. It panics on non-positive factors.
+func Resample(x []complex128, up, down int, taps int) []complex128 {
+	if up < 1 || down < 1 {
+		panic("dsp: Resample factors must be >= 1")
+	}
+	if up == 1 && down == 1 {
+		return append([]complex128(nil), x...)
+	}
+	y := Upsample(x, up)
+	// Cut at the lower of the input and output Nyquist frequencies,
+	// normalized to the upsampled rate.
+	cut := 0.5 / float64(up)
+	if c := 0.5 / float64(down); c < cut {
+		cut = c
+	}
+	if taps < 3 {
+		taps = 8*maxInt(up, down) + 1
+	}
+	lp := LowPass(cut, 1, taps) // normalized rates: Fs = 1
+	y = lp.Filter(y)
+	Scale(y, complex(float64(up), 0))
+	return Decimate(y, down)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

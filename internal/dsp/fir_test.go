@@ -1,0 +1,270 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mmx/internal/stats"
+)
+
+func TestLowPassResponse(t *testing.T) {
+	fs := 1e6
+	f := LowPass(100e3, fs, 101)
+	// Unity gain at DC (normalized).
+	if g := f.GainAt(0, fs); math.Abs(g-1) > 1e-9 {
+		t.Errorf("DC gain = %g", g)
+	}
+	// Passband: small ripple.
+	if g := f.GainAt(50e3, fs); math.Abs(g-1) > 0.05 {
+		t.Errorf("passband gain at 50 kHz = %g", g)
+	}
+	// Stopband: strong attenuation well past cutoff.
+	if g := f.GainAt(250e3, fs); g > 0.01 {
+		t.Errorf("stopband gain at 250 kHz = %g", g)
+	}
+	if f.Len()%2 != 1 {
+		t.Error("taps should be odd")
+	}
+}
+
+func TestLowPassTapsClamp(t *testing.T) {
+	f := LowPass(1e3, 1e6, 0)
+	if f.Len() < 3 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	f2 := LowPass(1e3, 1e6, 10)
+	if f2.Len() != 11 {
+		t.Errorf("even taps should be promoted to 11, got %d", f2.Len())
+	}
+}
+
+func TestBandPassResponse(t *testing.T) {
+	fs := 1e6
+	f := BandPass(100e3, 200e3, fs, 201)
+	if g := f.GainAt(150e3, fs); math.Abs(g-1) > 1e-9 {
+		t.Errorf("band-center gain = %g, want 1", g)
+	}
+	if g := f.GainAt(0, fs); g > 0.02 {
+		t.Errorf("DC leakage = %g", g)
+	}
+	if g := f.GainAt(400e3, fs); g > 0.02 {
+		t.Errorf("stopband gain = %g", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted band should panic")
+		}
+	}()
+	BandPass(200e3, 100e3, fs, 11)
+}
+
+func TestFilterRemovesOutOfBandTone(t *testing.T) {
+	fs := 1e6
+	lp := LowPass(100e3, fs, 129)
+	inBand := Tone(4096, 50e3, 1, 0, fs)
+	outBand := Tone(4096, 300e3, 1, 0, fs)
+	mix := make([]complex128, len(inBand))
+	for i := range mix {
+		mix[i] = inBand[i] + outBand[i]
+	}
+	y := lp.Filter(mix)
+	// Skip the transient, then the output should be dominated by the
+	// in-band tone: power ≈ 1, dominant frequency ≈ 50 kHz.
+	settled := y[256:]
+	if p := Power(settled); math.Abs(p-1) > 0.1 {
+		t.Errorf("filtered power = %g, want ≈1", p)
+	}
+	if got := DominantFrequency(settled, fs); math.Abs(got-50e3) > 1e3 {
+		t.Errorf("dominant freq after LPF = %g", got)
+	}
+}
+
+func TestFilterLinearityProperty(t *testing.T) {
+	fs := 1e6
+	lp := LowPass(100e3, fs, 31)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 64
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			a[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+			b[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+		}
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		ya, yb, ys := lp.Filter(a), lp.Filter(b), lp.Filter(sum)
+		for i := range ys {
+			d := ys[i] - ya[i] - yb[i]
+			if math.Hypot(real(d), imag(d)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterRealMatchesComplex(t *testing.T) {
+	lp := LowPass(0.1e6, 1e6, 21)
+	xs := []float64{1, -2, 3, 0, 0, 5, 4, 4, 2, 2, 1, 0, 0, 0, 1, 9, 8, 1, 1, 1, 0, 0, 2}
+	yr := lp.FilterReal(xs)
+	yc := lp.Filter(ToComplex(xs))
+	for i := range yr {
+		if math.Abs(yr[i]-real(yc[i])) > 1e-12 || math.Abs(imag(yc[i])) > 1e-12 {
+			t.Fatalf("real/complex filter mismatch at %d", i)
+		}
+	}
+}
+
+func TestGroupDelay(t *testing.T) {
+	f := LowPass(1e3, 1e6, 41)
+	if gd := f.GroupDelay(); gd != 20 {
+		t.Errorf("GroupDelay = %g, want 20", gd)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	h := Hamming(11)
+	if math.Abs(h[0]-0.08) > 1e-9 || math.Abs(h[10]-0.08) > 1e-9 {
+		t.Errorf("Hamming edges = %g, %g", h[0], h[10])
+	}
+	if math.Abs(h[5]-1) > 1e-9 {
+		t.Errorf("Hamming center = %g", h[5])
+	}
+	b := Blackman(11)
+	if math.Abs(b[5]-1) > 1e-9 {
+		t.Errorf("Blackman center = %g", b[5])
+	}
+	if math.Abs(b[0]) > 1e-9 {
+		t.Errorf("Blackman edge = %g", b[0])
+	}
+	if Hamming(1)[0] != 1 || Blackman(1)[0] != 1 {
+		t.Error("single-point windows should be 1")
+	}
+}
+
+func TestDecimateUpsample(t *testing.T) {
+	x := []complex128{0, 1, 2, 3, 4, 5, 6}
+	d := Decimate(x, 3)
+	if len(d) != 3 || d[0] != 0 || d[1] != 3 || d[2] != 6 {
+		t.Errorf("Decimate = %v", d)
+	}
+	u := Upsample([]complex128{1, 2}, 3)
+	want := []complex128{1, 0, 0, 2, 0, 0}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Errorf("Upsample = %v", u)
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Decimate(0) should panic")
+		}
+	}()
+	Decimate(x, 0)
+}
+
+func TestGoertzelPureTone(t *testing.T) {
+	fs := 1e6
+	block := Tone(1000, 125e3, 2, 0.7, fs)
+	g := NewGoertzel(125e3, fs)
+	if p := g.Power(block); math.Abs(p-4) > 1e-6 {
+		t.Errorf("Goertzel power of matched tone = %g, want 4", p)
+	}
+	// Probe far from the tone sees almost nothing.
+	gOff := NewGoertzel(300e3, fs)
+	if p := gOff.Power(block); p > 0.01 {
+		t.Errorf("Goertzel off-tone power = %g", p)
+	}
+	if g.Power(nil) != 0 {
+		t.Error("empty block should be 0")
+	}
+}
+
+func TestToneDiscriminator(t *testing.T) {
+	fs := 1e6
+	f0, f1 := -100e3, 100e3
+	d := NewToneDiscriminator(f0, f1, fs)
+	b0 := Tone(500, f0, 1, 0, fs)
+	b1 := Tone(500, f1, 1, 0, fs)
+	if bit, p0, p1 := d.Decide(b0); bit || p0 < p1 {
+		t.Errorf("tone 0 misdecided: p0=%g p1=%g", p0, p1)
+	}
+	if bit, p0, p1 := d.Decide(b1); !bit || p1 < p0 {
+		t.Errorf("tone 1 misdecided: p0=%g p1=%g", p0, p1)
+	}
+	if s := d.Separation(b1); s < 0.99 {
+		t.Errorf("pure tone separation = %g, want ≈1", s)
+	}
+	if s := d.Separation(make([]complex128, 100)); s != 0 {
+		t.Errorf("silent block separation = %g", s)
+	}
+}
+
+func TestToneDiscriminatorNoisy(t *testing.T) {
+	fs := 1e6
+	rng := stats.NewRNG(31)
+	d := NewToneDiscriminator(-100e3, 100e3, fs)
+	errs := 0
+	trials := 200
+	for i := 0; i < trials; i++ {
+		bit := rng.Bool()
+		f := -100e3
+		if bit {
+			f = 100e3
+		}
+		block := Tone(64, f, 1, rng.Uniform(0, 2*math.Pi), fs)
+		AddNoise(block, 0.5, rng) // 3 dB SNR per sample, 64x processing gain
+		got, _, _ := d.Decide(block)
+		if got != bit {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Errorf("FSK discriminator errors = %d/%d at high post-integration SNR", errs, trials)
+	}
+}
+
+func TestResampleRational(t *testing.T) {
+	fs := 1e6
+	// A 50 kHz tone resampled 2/5 (1 MS/s → 400 kS/s) keeps its absolute
+	// frequency and amplitude.
+	x := Tone(5000, 50e3, 1, 0, fs)
+	y := Resample(x, 2, 5, 0)
+	if want := 5000 * 2 / 5; len(y) != want {
+		t.Fatalf("len = %d, want %d", len(y), want)
+	}
+	outRate := fs * 2 / 5
+	settled := y[200:]
+	if got := DominantFrequency(settled, outRate); math.Abs(got-50e3) > outRate/float64(len(settled))+1 {
+		t.Errorf("resampled tone at %g Hz", got)
+	}
+	if p := Power(settled); math.Abs(p-1) > 0.1 {
+		t.Errorf("resampled power = %g, want 1", p)
+	}
+	// Pure upsampling preserves the tone too.
+	u := Resample(x[:2000], 3, 1, 0)
+	if got := DominantFrequency(u[300:], 3*fs); math.Abs(got-50e3) > 3*fs/1700+1 {
+		t.Errorf("upsampled tone at %g Hz", got)
+	}
+	// Identity.
+	id := Resample(x[:64], 1, 1, 0)
+	for i := range id {
+		if id[i] != x[i] {
+			t.Fatal("identity resample changed data")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad factors should panic")
+		}
+	}()
+	Resample(x, 0, 1, 0)
+}

@@ -1,0 +1,194 @@
+// Package dsp provides the digital signal processing substrate for the mmX
+// simulator: complex-baseband IQ vectors, FFTs, FIR filter design and
+// application, Goertzel tone detection, envelope detection, correlation,
+// and additive white Gaussian noise. Everything operates on complex128
+// slices at an explicit sample rate; no external DSP library is used.
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+
+	"mmx/internal/stats"
+)
+
+// Tone synthesizes n samples of a complex exponential at freqHz (relative to
+// the baseband center) with the given amplitude, initial phase (radians),
+// and sample rate.
+func Tone(n int, freqHz, amplitude, phase, sampleRate float64) []complex128 {
+	out := make([]complex128, n)
+	w := 2 * math.Pi * freqHz / sampleRate
+	for i := range out {
+		out[i] = cmplx.Rect(amplitude, phase+w*float64(i))
+	}
+	return out
+}
+
+// Power returns the mean power of x: mean(|x|^2).
+func Power(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s / float64(len(x))
+}
+
+// PeakPower returns the maximum instantaneous power max(|x|^2).
+func PeakPower(x []complex128) float64 {
+	m := 0.0
+	for _, v := range x {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Scale multiplies every sample by the complex gain g, in place, and
+// returns x for chaining.
+func Scale(x []complex128, g complex128) []complex128 {
+	for i := range x {
+		x[i] *= g
+	}
+	return x
+}
+
+// Add sums b into a elementwise (a must be at least as long as b) and
+// returns a.
+func Add(a, b []complex128) []complex128 {
+	for i := range b {
+		a[i] += b[i]
+	}
+	return a
+}
+
+// Envelope returns |x| sample by sample — the output of an ideal envelope
+// detector, the first stage of the mmX AP's ASK demodulator.
+func Envelope(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// AddNoise adds complex AWGN with total noise power noisePower (variance
+// split evenly between I and Q) to x in place, drawing from rng.
+func AddNoise(x []complex128, noisePower float64, rng *stats.RNG) []complex128 {
+	if noisePower <= 0 {
+		return x
+	}
+	sigma := math.Sqrt(noisePower / 2)
+	for i := range x {
+		x[i] += complex(rng.Normal(0, sigma), rng.Normal(0, sigma))
+	}
+	return x
+}
+
+// MeasureSNR estimates the SNR in dB of a signal of power sigPower observed
+// over noise of power noisePower.
+func MeasureSNR(sigPower, noisePower float64) float64 {
+	if noisePower <= 0 {
+		return math.Inf(1)
+	}
+	if sigPower <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(sigPower/noisePower)
+}
+
+// MixDown multiplies x by e^{-j2π f t}, shifting a tone at f down to DC.
+func MixDown(x []complex128, freqHz, sampleRate float64) []complex128 {
+	out := make([]complex128, len(x))
+	w := -2 * math.Pi * freqHz / sampleRate
+	for i, v := range x {
+		out[i] = v * cmplx.Rect(1, w*float64(i))
+	}
+	return out
+}
+
+// CrossCorrelate computes the sliding cross-correlation magnitude of x with
+// the template h: out[k] = |Σ_i x[k+i] * conj(h[i])| for every full overlap
+// position k in [0, len(x)-len(h)]. It returns nil if h is longer than x or
+// either is empty.
+func CrossCorrelate(x, h []complex128) []float64 {
+	if len(h) == 0 || len(h) > len(x) {
+		return nil
+	}
+	out := make([]float64, len(x)-len(h)+1)
+	for k := range out {
+		var acc complex128
+		for i, hv := range h {
+			acc += x[k+i] * cmplx.Conj(hv)
+		}
+		out[k] = cmplx.Abs(acc)
+	}
+	return out
+}
+
+// ArgMax returns the index of the largest element of xs, or -1 for an empty
+// slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MovingAverage smooths xs with a centered boxcar of the given width
+// (clamped to odd, >= 1). Edges use the available neighborhood.
+func MovingAverage(xs []float64, width int) []float64 {
+	if width < 1 {
+		width = 1
+	}
+	if width%2 == 0 {
+		width++
+	}
+	half := width / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Real extracts the real parts of x.
+func Real(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// ToComplex converts a real signal into a complex one with zero imaginary
+// part.
+func ToComplex(x []float64) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	return out
+}

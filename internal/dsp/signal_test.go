@@ -1,0 +1,180 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"mmx/internal/stats"
+)
+
+func TestTonePowerAndFrequency(t *testing.T) {
+	fs := 1e6
+	x := Tone(4096, 100e3, 2, 0.3, fs)
+	if p := Power(x); math.Abs(p-4) > 1e-9 {
+		t.Errorf("tone power = %g, want 4", p)
+	}
+	if got := DominantFrequency(x, fs); math.Abs(got-100e3) > fs/4096+1 {
+		t.Errorf("tone frequency = %g", got)
+	}
+	// Initial phase honored.
+	if ph := cmplx.Phase(x[0]); math.Abs(ph-0.3) > 1e-12 {
+		t.Errorf("initial phase = %g", ph)
+	}
+}
+
+func TestPowerPeakScale(t *testing.T) {
+	x := []complex128{1, 2i, complex(0, 0)}
+	if p := Power(x); math.Abs(p-(1+4)/3.0) > 1e-12 {
+		t.Errorf("Power = %g", p)
+	}
+	if p := PeakPower(x); p != 4 {
+		t.Errorf("PeakPower = %g", p)
+	}
+	Scale(x, 2)
+	if p := PeakPower(x); p != 16 {
+		t.Errorf("PeakPower after Scale = %g", p)
+	}
+	if Power(nil) != 0 {
+		t.Error("Power(nil) should be 0")
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	x := []complex128{complex(3, 4), complex(0, -2)}
+	e := Envelope(x)
+	if e[0] != 5 || e[1] != 2 {
+		t.Errorf("Envelope = %v", e)
+	}
+}
+
+func TestAddNoisePower(t *testing.T) {
+	rng := stats.NewRNG(12)
+	x := make([]complex128, 100000)
+	AddNoise(x, 0.25, rng)
+	if p := Power(x); math.Abs(p-0.25) > 0.01 {
+		t.Errorf("noise power = %g, want 0.25", p)
+	}
+	// Zero power is a no-op.
+	y := []complex128{1 + 1i}
+	AddNoise(y, 0, rng)
+	if y[0] != 1+1i {
+		t.Error("AddNoise(0) modified the signal")
+	}
+}
+
+func TestMeasureSNR(t *testing.T) {
+	if got := MeasureSNR(100, 1); math.Abs(got-20) > 1e-12 {
+		t.Errorf("MeasureSNR = %g", got)
+	}
+	if !math.IsInf(MeasureSNR(1, 0), 1) {
+		t.Error("zero noise should be +Inf")
+	}
+	if !math.IsInf(MeasureSNR(0, 1), -1) {
+		t.Error("zero signal should be -Inf")
+	}
+}
+
+func TestMixDown(t *testing.T) {
+	fs := 1e6
+	x := Tone(1024, 200e3, 1, 0, fs)
+	y := MixDown(x, 200e3, fs)
+	// After mixing the tone sits at DC: nearly constant signal.
+	if got := DominantFrequency(y, fs); math.Abs(got) > fs/1024+1 {
+		t.Errorf("mixed-down frequency = %g, want ≈0", got)
+	}
+	if math.Abs(Power(y)-Power(x)) > 1e-9 {
+		t.Error("MixDown changed signal power")
+	}
+}
+
+func TestCrossCorrelatePeak(t *testing.T) {
+	rng := stats.NewRNG(20)
+	h := make([]complex128, 31)
+	for i := range h {
+		h[i] = complex(rng.Normal(0, 1), rng.Normal(0, 1))
+	}
+	x := make([]complex128, 200)
+	for i := range x {
+		x[i] = complex(rng.Normal(0, 0.1), rng.Normal(0, 0.1))
+	}
+	offset := 77
+	for i, v := range h {
+		x[offset+i] += v
+	}
+	corr := CrossCorrelate(x, h)
+	if got := ArgMax(corr); got != offset {
+		t.Errorf("correlation peak at %d, want %d", got, offset)
+	}
+	if CrossCorrelate(h, x) != nil {
+		t.Error("template longer than signal should return nil")
+	}
+	if CrossCorrelate(x, nil) != nil {
+		t.Error("empty template should return nil")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax(nil) != -1")
+	}
+	if got := ArgMax([]float64{1, 5, 3, 5}); got != 1 {
+		t.Errorf("ArgMax returns first max, got %d", got)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{0, 0, 9, 0, 0}
+	out := MovingAverage(xs, 3)
+	want := []float64{0, 3, 3, 3, 0}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("MovingAverage[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+	// Even width is promoted to odd; width<1 clamps to 1 (identity).
+	id := MovingAverage(xs, 0)
+	for i := range xs {
+		if id[i] != xs[i] {
+			t.Error("width<1 should be identity")
+		}
+	}
+}
+
+func TestMovingAverageConservesMeanProperty(t *testing.T) {
+	// A centered boxcar preserves a constant signal exactly.
+	f := func(v int8, w uint8) bool {
+		val := float64(v)
+		xs := make([]float64, 40)
+		for i := range xs {
+			xs[i] = val
+		}
+		out := MovingAverage(xs, int(w%9))
+		for _, o := range out {
+			if math.Abs(o-val) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRealToComplex(t *testing.T) {
+	a := []complex128{1, 2}
+	Add(a, []complex128{10, 20})
+	if a[0] != 11 || a[1] != 22 {
+		t.Errorf("Add = %v", a)
+	}
+	r := Real([]complex128{complex(3, 9)})
+	if r[0] != 3 {
+		t.Error("Real wrong")
+	}
+	c := ToComplex([]float64{4})
+	if c[0] != 4 {
+		t.Error("ToComplex wrong")
+	}
+}

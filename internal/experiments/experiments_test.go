@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// These tests assert the *shape targets* from DESIGN.md §3 — who wins, by
+// roughly what factor, where the anchors fall — for every regenerated
+// figure and table.
+
+func TestFig7Shape(t *testing.T) {
+	r := Fig7(16)
+	if !r.CoversISM {
+		t.Error("VCO must cover the ISM band")
+	}
+	if math.Abs(r.FreqGHz[0]-23.95) > 0.001 {
+		t.Errorf("start = %.3f GHz", r.FreqGHz[0])
+	}
+	last := len(r.FreqGHz) - 1
+	if math.Abs(r.FreqGHz[last]-24.25) > 0.001 {
+		t.Errorf("end = %.3f GHz", r.FreqGHz[last])
+	}
+	for i := 1; i < len(r.FreqGHz); i++ {
+		if r.FreqGHz[i] <= r.FreqGHz[i-1] {
+			t.Fatal("tuning curve not monotone")
+		}
+	}
+	if !strings.Contains(r.String(), "Fig. 7") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r := Fig8(720)
+	if math.Abs(r.Beam1PeakDeg) > 2 {
+		t.Errorf("Beam 1 peak at %.1f°, want 0°", r.Beam1PeakDeg)
+	}
+	var pos, neg bool
+	for _, p := range r.Beam0PeaksDeg {
+		if p > 20 && p < 40 {
+			pos = true
+		}
+		if p < -20 && p > -40 {
+			neg = true
+		}
+	}
+	if !pos || !neg {
+		t.Errorf("Beam 0 peaks %v, want ≈±30°", r.Beam0PeaksDeg)
+	}
+	if r.OrthogonalityDB < 10 {
+		t.Errorf("orthogonality %.1f dB", r.OrthogonalityDB)
+	}
+	if r.HPBW1Deg < 15 || r.HPBW1Deg > 50 {
+		t.Errorf("HPBW %.1f°, paper reports 40°", r.HPBW1Deg)
+	}
+	if !strings.Contains(r.String(), "Beam0") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r := Fig9(42)
+	if !r.DecodedA || !r.DecodedB {
+		t.Fatalf("decode failed: a=%v b=%v", r.DecodedA, r.DecodedB)
+	}
+	// (a) has real amplitude structure; (b) is the equal-loss corner and
+	// must have been decoded by FSK.
+	if r.DepthA < 0.2 {
+		t.Errorf("scenario (a) depth = %.2f, want ASK-visible", r.DepthA)
+	}
+	if r.ModeB != "fsk" {
+		t.Errorf("scenario (b) mode = %s, want fsk", r.ModeB)
+	}
+	if r.DepthB > 0.15 {
+		t.Errorf("scenario (b) depth = %.2f, want flat envelope", r.DepthB)
+	}
+	if len(r.EnvelopeA) == 0 || len(r.EnvelopeB) == 0 {
+		t.Error("envelopes missing")
+	}
+	if !strings.Contains(r.String(), "Fig. 9") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := Fig10(1, 0.25)
+	if len(r.Cells) < 100 {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	// Paper: without OTAM many locations <5 dB; with OTAM almost all
+	// ≥10 dB.
+	if r.FracBelow5Without < 0.1 {
+		t.Errorf("only %.0f%% below 5 dB without OTAM, want many",
+			100*r.FracBelow5Without)
+	}
+	if r.FracBelow5With > 0.05 {
+		t.Errorf("%.0f%% below 5 dB with OTAM, want ≈none", 100*r.FracBelow5With)
+	}
+	// ~80% with random ±0.3 m heights included (the elevation rolloff
+	// shaves the borderline far-corner cells; without heights this is
+	// ≈83%).
+	if r.FracAbove10With < 0.75 {
+		t.Errorf("only %.0f%% ≥10 dB with OTAM, want almost all",
+			100*r.FracAbove10With)
+	}
+	if r.MedianGainDB < 0 {
+		t.Errorf("median OTAM gain %.1f dB", r.MedianGainDB)
+	}
+	// OTAM's win concentrates in the fixed-beam failure cells.
+	if r.FracBelow5Without < 3*r.FracBelow5With {
+		t.Errorf("OTAM should collapse the sub-5 dB population: %.2f vs %.2f",
+			r.FracBelow5Without, r.FracBelow5With)
+	}
+	if !strings.Contains(r.String(), "Fig. 10") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	// Average the anchors over several 30-location draws (the paper used
+	// one, but the medians are noisy at n=30).
+	r := Fig11(7, 200)
+	// Paper: w/o OTAM median 1e-5, p90 0.3; w/ OTAM median 1e-12,
+	// p90 1e-3. Hold the ordering and the orders-of-magnitude gaps.
+	if r.MedianWith > 1e-7 {
+		t.Errorf("median with OTAM = %.1e, want tiny (≤1e-7)", r.MedianWith)
+	}
+	if r.MedianWithout < 1e-6 {
+		t.Errorf("median without OTAM = %.1e, want ≥1e-6", r.MedianWithout)
+	}
+	if r.P90Without < 5e-2 {
+		t.Errorf("p90 without OTAM = %.1e, want catastrophic (≥5e-2)", r.P90Without)
+	}
+	if r.P90With > 5e-2 {
+		t.Errorf("p90 with OTAM = %.1e, want ≤5e-2", r.P90With)
+	}
+	// The core claim: OTAM improves the median by orders of magnitude
+	// and the tail by a large factor.
+	if r.MedianWith > r.MedianWithout/1e3 {
+		t.Errorf("median improvement only %.1ex", r.MedianWithout/r.MedianWith)
+	}
+	if r.P90With > r.P90Without/2 {
+		t.Errorf("tail improvement only %.1fx", r.P90Without/r.P90With)
+	}
+	if !strings.Contains(r.String(), "Fig. 11") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := Fig12(3, 18, 1)
+	if len(r.Points) != 18 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Anchors: ≥15 dB at 18 m facing (paper: "more than 15 dB"); the
+	// not-facing scenario lands lower but usable (paper: ≈9 dB).
+	if r.At18mFacing < 13 || r.At18mFacing > 25 {
+		t.Errorf("18 m facing = %.1f dB, want ≈15", r.At18mFacing)
+	}
+	if r.At18mNotFacing < 6 || r.At18mNotFacing >= r.At18mFacing {
+		t.Errorf("18 m not facing = %.1f dB, want ≈9 and < facing", r.At18mNotFacing)
+	}
+	// Overall decay with distance (allowing small multipath ripples).
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if first.SNRFacing-last.SNRFacing < 15 {
+		t.Errorf("facing decay %.1f dB over 1→18 m, want ≈25",
+			first.SNRFacing-last.SNRFacing)
+	}
+	if first.SNRFacing < 34 || first.SNRFacing > 47 {
+		t.Errorf("1 m facing = %.1f dB, want ≈40", first.SNRFacing)
+	}
+	if !strings.Contains(r.String(), "Fig. 12") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := Fig13(5, []int{1, 5, 20}, 6)
+	if len(r.Points) != 3 {
+		t.Fatal("points")
+	}
+	// Paper: gentle decline, average >29 dB even at 20 nodes. Our
+	// substrate's per-node baseline sits lower (random ±60° orientations
+	// against the calibrated budget), so the anchor is the robustness:
+	// a still-strong mean and a gentle slope.
+	if r.MeanAt20 < 16 {
+		t.Errorf("mean at 20 nodes = %.1f dB, want ≥16 (paper >29)", r.MeanAt20)
+	}
+	if r.Points[0].MeanSINRdB < r.Points[2].MeanSINRdB-0.5 {
+		t.Errorf("SINR should not grow with load: %v vs %v",
+			r.Points[0].MeanSINRdB, r.Points[2].MeanSINRdB)
+	}
+	drop := r.Points[0].MeanSINRdB - r.Points[2].MeanSINRdB
+	if drop > 10 {
+		t.Errorf("decline %.1f dB too steep for Fig. 13's gentle slope", drop)
+	}
+	if !strings.Contains(r.String(), "Fig. 13") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable1AndMicro(t *testing.T) {
+	tb := Table1()
+	if len(tb.Platforms) != 5 {
+		t.Error("table rows")
+	}
+	if !strings.Contains(tb.String(), "mmX") {
+		t.Error("render broken")
+	}
+	m := Micro()
+	if m.MaxBitRateBps != 100e6 {
+		t.Errorf("max rate = %g", m.MaxBitRateBps)
+	}
+	if math.Abs(m.EnergyPerBitNJ-11) > 0.2 {
+		t.Errorf("nJ/bit = %.1f", m.EnergyPerBitNJ)
+	}
+	if !m.VCOCoversISM {
+		t.Error("VCO coverage")
+	}
+	if !strings.Contains(m.String(), "11.0 nJ/bit") {
+		t.Errorf("render: %s", m.String())
+	}
+}
+
+func TestAblationBeamsShape(t *testing.T) {
+	r := AblationBeams(11, 300)
+	// Orthogonal design keeps indistinguishable cases rare (<10%), and
+	// must beat the non-orthogonal strawman on mean depth.
+	if r.FracIndistinguishableOrtho > 0.10 {
+		t.Errorf("orthogonal indistinguishable %.1f%%, paper keeps <10%%",
+			100*r.FracIndistinguishableOrtho)
+	}
+	if r.MeanDepthOrtho <= r.MeanDepthNonOrtho {
+		t.Errorf("orthogonal depth %.2f should beat non-orthogonal %.2f",
+			r.MeanDepthOrtho, r.MeanDepthNonOrtho)
+	}
+	if !strings.Contains(r.String(), "orthogonal") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationModalityShape(t *testing.T) {
+	r := AblationModality(13, 300)
+	// Joint decoding is the union of the two modalities (§6.3): it must
+	// dominate each alone by a real margin (the poses still failing are
+	// SNR-starved, not modality-starved).
+	maxSingle := math.Max(r.FracDecodableASK, r.FracDecodableFSK)
+	if r.FracDecodableJoint < maxSingle+0.05 {
+		t.Errorf("joint %.2f should beat best single %.2f by ≥5 points",
+			r.FracDecodableJoint, maxSingle)
+	}
+	if r.FracDecodableJoint > r.FracDecodableASK+r.FracDecodableFSK+1e-9 {
+		t.Error("joint cannot exceed the union bound")
+	}
+	if r.FracDecodableJoint < 0.5 {
+		t.Errorf("joint decodable at %.0f%% of poses", 100*r.FracDecodableJoint)
+	}
+	if !strings.Contains(r.String(), "joint") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationTMAShape(t *testing.T) {
+	r := AblationTMA(17, 100)
+	if len(r.Rows) != 3 {
+		t.Fatal("rows")
+	}
+	// More elements → more slots and better separation.
+	if !(r.Rows[0].Slots < r.Rows[1].Slots && r.Rows[1].Slots < r.Rows[2].Slots) {
+		t.Error("slots should grow with elements")
+	}
+	if r.Rows[2].MeanSuppressionDB <= r.Rows[0].MeanSuppressionDB {
+		t.Errorf("suppression should improve: %v", r.Rows)
+	}
+	if !strings.Contains(r.String(), "elements") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationSDMShape(t *testing.T) {
+	// 16 nodes at 40 Mbps (50 MHz each): FDM holds 5, SDM absorbs the
+	// rest.
+	r := AblationSDM(19, 16, 40e6)
+	if r.AdmittedFDM != 5 {
+		t.Errorf("FDM admits = %d, want 5", r.AdmittedFDM)
+	}
+	if r.AdmittedHybrid != 16 {
+		t.Errorf("hybrid admits = %d, want all 16", r.AdmittedHybrid)
+	}
+	if r.MeanSINRHybrid < 12 {
+		t.Errorf("hybrid mean SINR = %.1f dB", r.MeanSINRHybrid)
+	}
+	if !strings.Contains(r.String(), "FDM+SDM") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationSearchShape(t *testing.T) {
+	r := AblationSearch(23)
+	if r.ExhaustiveProbes != 64 {
+		t.Errorf("exhaustive probes = %d", r.ExhaustiveProbes)
+	}
+	if r.HierarchicalProbes >= r.ExhaustiveProbes {
+		t.Error("hierarchical should use fewer probes")
+	}
+	if r.SearchEnergyPerDayJ <= 0 {
+		t.Error("search energy should be positive")
+	}
+	if r.RadioPowerRatio < 3 {
+		t.Errorf("conventional radio power ratio = %.1f, want ≫1", r.RadioPowerRatio)
+	}
+	if !strings.Contains(r.String(), "OTAM: 0 probes") {
+		t.Error("render broken")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 14 {
+		t.Fatalf("experiments = %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Lookup("fig10"); !ok {
+		t.Error("Lookup fig10 failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("phantom experiment")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	s := tb.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "a") {
+		t.Errorf("table render: %q", s)
+	}
+	csv := tb.CSV()
+	if csv != "a,bb\n1,2\n" {
+		t.Errorf("csv = %q", csv)
+	}
+}

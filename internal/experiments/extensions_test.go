@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtFECShape(t *testing.T) {
+	r := ExtFEC(1, 300)
+	// The experiment must sit near the BER cliff to be meaningful.
+	if r.RawBER < 1e-4 || r.RawBER > 5e-2 {
+		t.Fatalf("raw BER = %.1e, experiment mis-tuned", r.RawBER)
+	}
+	// Coding converts a lossy link into a reliable one.
+	if r.DeliveredCoded <= r.DeliveredUncoded {
+		t.Errorf("coded %d should beat uncoded %d", r.DeliveredCoded, r.DeliveredUncoded)
+	}
+	if float64(r.DeliveredCoded)/float64(r.Trials) < 0.9 {
+		t.Errorf("coded delivery %.2f, want ≥0.9", float64(r.DeliveredCoded)/float64(r.Trials))
+	}
+	if float64(r.DeliveredUncoded)/float64(r.Trials) > 0.7 {
+		t.Errorf("uncoded delivery %.2f, want lossy", float64(r.DeliveredUncoded)/float64(r.Trials))
+	}
+	if r.MeanCorrections <= 0 {
+		t.Error("the code should be doing work")
+	}
+	if r.OverheadRatio < 1.7 || r.OverheadRatio > 1.8 {
+		t.Errorf("overhead = %.2f, want 7/4", r.OverheadRatio)
+	}
+	if !strings.Contains(r.String(), "error-correction") {
+		t.Error("render broken")
+	}
+}
+
+func TestExtNarrowBeamShape(t *testing.T) {
+	r := ExtNarrowBeam(2)
+	if len(r.Rows) != 3 {
+		t.Fatal("rows")
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		prev, cur := r.Rows[i-1], r.Rows[i]
+		// §9.1's tradeoff: each doubling buys ~3 dB and range, costs FoV.
+		if cur.PeakGainDBi <= prev.PeakGainDBi {
+			t.Errorf("gain should grow: %v", r.Rows)
+		}
+		if cur.RangeAt10dBm <= prev.RangeAt10dBm {
+			t.Errorf("range should grow: %v", r.Rows)
+		}
+		if cur.FoVDeg > prev.FoVDeg {
+			t.Errorf("FoV should shrink: %v", r.Rows)
+		}
+	}
+	// 3 dB per doubling → roughly √2 more range per doubling.
+	if r.Rows[2].RangeAt10dBm < 1.5*r.Rows[0].RangeAt10dBm {
+		t.Errorf("8-element range %.1f m should be ≫ 2-element %.1f m",
+			r.Rows[2].RangeAt10dBm, r.Rows[0].RangeAt10dBm)
+	}
+	if !strings.Contains(r.String(), "range vs field of view") {
+		t.Error("render broken")
+	}
+}
+
+func TestExtBacksideShape(t *testing.T) {
+	r := ExtBackside(3)
+	if r.CoverageExtended < 1.8*r.CoverageStandard {
+		t.Errorf("extended coverage %.2f vs standard %.2f", r.CoverageExtended, r.CoverageStandard)
+	}
+	if r.BackSNRExtended < r.BackSNRStandard+8 {
+		t.Errorf("backwards link: extended %.1f dB vs standard %.1f dB, want ≫",
+			r.BackSNRExtended, r.BackSNRStandard)
+	}
+	if r.BackSNRExtended < 20 {
+		t.Errorf("extended backwards SNR = %.1f dB, want strong", r.BackSNRExtended)
+	}
+	if !strings.Contains(r.String(), "back-side") {
+		t.Error("render broken")
+	}
+}
+
+func TestExt60GHzShape(t *testing.T) {
+	r := Ext60GHz(4)
+	// 250 MHz holds two 125 MHz channels; 7 GHz holds 56.
+	if r.Capacity24 != 2 {
+		t.Errorf("24 GHz capacity = %d", r.Capacity24)
+	}
+	if r.Capacity60 != 56 {
+		t.Errorf("60 GHz capacity = %d", r.Capacity60)
+	}
+	// Equal geometry: 60 GHz pays ~8 dB more path loss.
+	gap := r.SNRAt5m24 - r.SNRAt5m60
+	if gap < 4 || gap > 12 {
+		t.Errorf("24→60 GHz SNR gap = %.1f dB, want ≈8", gap)
+	}
+	if !strings.Contains(r.String(), "60 GHz") {
+		t.Error("render broken")
+	}
+}
+
+func TestExtMobilityShape(t *testing.T) {
+	r := ExtMobility(1)
+	// OTAM (with the full-circle aperture) keeps the moving link usable
+	// more of the time than the searcher, with literally zero overhead.
+	if r.OTAMUsableFrac <= r.SearcherUsableFrac {
+		t.Errorf("OTAM usable %.2f should beat searcher %.2f",
+			r.OTAMUsableFrac, r.SearcherUsableFrac)
+	}
+	if r.OTAMUsableFrac < 0.8 {
+		t.Errorf("OTAM usable fraction = %.2f, want high", r.OTAMUsableFrac)
+	}
+	if r.Searches < 10 {
+		t.Errorf("searcher re-aligned only %d times on a 22 s moving run", r.Searches)
+	}
+	if r.SearchEnergyJ <= 0 || r.SearchOverheadFrac <= 0 {
+		t.Error("searching must cost time and energy")
+	}
+	if !strings.Contains(r.String(), "0 alignment overhead") {
+		t.Error("render broken")
+	}
+}
+
+func TestExtRateShape(t *testing.T) {
+	r := ExtRate(5, 60, 3, 1e-6)
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// Full rate near the AP, graceful degradation, useful links far past
+	// the 100 Mbps contour.
+	if r.Points[0].LadderBps != 100e6 {
+		t.Errorf("rate at 1 m = %g", r.Points[0].LadderBps)
+	}
+	if r.RangeAt100Mbps <= 0 || r.RangeAt1Mbps <= r.RangeAt100Mbps {
+		t.Errorf("ranges: 100M to %.0f m, 1M to %.0f m", r.RangeAt100Mbps, r.RangeAt1Mbps)
+	}
+	for _, p := range r.Points {
+		if p.LadderBps > p.AchievableBps+1 {
+			t.Errorf("d=%.0f: ladder %g above achievable %g",
+				p.DistanceM, p.LadderBps, p.AchievableBps)
+		}
+	}
+	if !strings.Contains(r.String(), "rate adaptation") {
+		t.Error("render broken")
+	}
+}
+
+func TestRegistryIncludesExtensions(t *testing.T) {
+	for _, id := range []string{"ext-fec", "ext-narrowbeam", "ext-backside", "ext-60ghz", "ext-mobility", "ext-rate", "ext-scale"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestAblationFilterShape(t *testing.T) {
+	r := AblationFilter(3)
+	if len(r.Rows) != 5 {
+		t.Fatal("rows")
+	}
+	// In band (24.125): the filter cannot help — both SINRs equal(ish)
+	// and the interferer is devastating.
+	inBand := r.Rows[0]
+	if inBand.RejectionDB > 1 {
+		t.Errorf("in-band rejection = %.1f dB", inBand.RejectionDB)
+	}
+	if inBand.SINRWithFilter > 0 {
+		t.Errorf("co-channel blaster should crush the link, SINR = %.1f", inBand.SINRWithFilter)
+	}
+	// Far out of band (26 GHz): the filter restores nearly the clean SNR,
+	// while the unfiltered front end stays jammed.
+	far := r.Rows[len(r.Rows)-1]
+	if far.SINRWithFilter < r.LinkSNRdB-3 {
+		t.Errorf("filtered SINR %.1f should approach clean %.1f", far.SINRWithFilter, r.LinkSNRdB)
+	}
+	if far.SINRNoFilter > far.SINRWithFilter-20 {
+		t.Errorf("filter should buy ≥20 dB at 26 GHz: %.1f vs %.1f",
+			far.SINRWithFilter, far.SINRNoFilter)
+	}
+	// Rejection grows monotonically away from the band.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].RejectionDB < r.Rows[i-1].RejectionDB {
+			t.Errorf("rejection not monotone: %+v", r.Rows)
+		}
+	}
+	if !strings.Contains(r.String(), "coupled-line") {
+		t.Error("render broken")
+	}
+	if !strings.Contains(r.CSV(), "rejection") {
+		t.Error("csv broken")
+	}
+}
+
+func TestExtScaleShape(t *testing.T) {
+	r := ExtScale(1, 40)
+	if r.Nodes != 40 {
+		t.Fatal("nodes")
+	}
+	// 24 GHz: four 62.5 MHz FDM channels, the rest crammed into SDM →
+	// interference-limited collapse.
+	if r.SDMNodes24 != 36 {
+		t.Errorf("24 GHz SDM nodes = %d, want 36", r.SDMNodes24)
+	}
+	// 60 GHz: 7 GHz of spectrum → nobody shares.
+	if r.SDMNodes60 != 0 {
+		t.Errorf("60 GHz SDM nodes = %d, want 0", r.SDMNodes60)
+	}
+	// The spectrum-rich band carries far more of the load.
+	if r.Usable60 < r.Usable24+0.2 {
+		t.Errorf("60 GHz usable %.2f should dominate 24 GHz %.2f",
+			r.Usable60, r.Usable24)
+	}
+	if r.MeanSINR60 < r.MeanSINR24 {
+		t.Errorf("60 GHz mean %.1f below 24 GHz %.1f", r.MeanSINR60, r.MeanSINR24)
+	}
+	if !strings.Contains(r.String(), "dense deployment") {
+		t.Error("render broken")
+	}
+}

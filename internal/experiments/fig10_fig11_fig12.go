@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mmx/internal/channel"
+	"mmx/internal/core"
+	"mmx/internal/stats"
+	"mmx/internal/units"
+)
+
+// Fig10Cell is one node placement in the §9.2 SNR-map experiment.
+type Fig10Cell struct {
+	X, Y float64
+	// OrientationDeg is the node's random facing relative to the AP
+	// direction (±60°, as in the paper).
+	OrientationDeg float64
+	SNRWithout     float64
+	SNRWith        float64
+}
+
+// Fig10Result is the pair of SNR maps of Fig. 10.
+type Fig10Result struct {
+	Cells []Fig10Cell
+	// FracBelow5Without / FracBelow5With: fraction of locations under
+	// 5 dB (the paper's headline contrast).
+	FracBelow5Without, FracBelow5With float64
+	// FracAbove10With: fraction of locations at ≥10 dB with OTAM
+	// ("almost all locations").
+	FracAbove10With float64
+	// MedianGainDB is the median OTAM SNR improvement.
+	MedianGainDB float64
+}
+
+// Fig10 reproduces the §9.2 experiment: a 6 m x 4 m lab, the AP on one
+// side, node poses on a grid with random ±60° orientation and random
+// heights (±0.3 m of the AP, exercising the 65° elevation beam), and one
+// person standing in the room blocking the line-of-sight (of the
+// placements behind them) for the whole experiment.
+func Fig10(seed uint64, gridStep float64) Fig10Result {
+	rng := stats.NewRNG(seed)
+	heightRng := stats.NewRNG(seed + 7777) // separate stream: heights do not perturb placements
+	env := channel.NewEnvironment(channel.NewLabRoom(rng), units.ISM24GHzCenter)
+	ap := channel.Pose{Pos: channel.Vec2{X: 0.3, Y: 2}, Orientation: 0}
+	env.Blockers = []*channel.Blocker{fixedLabBlocker(rng)}
+
+	var res Fig10Result
+	var gains []float64
+	for x := 1.0; x <= 5.75; x += gridStep {
+		for y := 0.5; y <= 3.5; y += gridStep {
+			pos := channel.Vec2{X: x, Y: y}
+			toAP := ap.Pos.Sub(pos).Angle()
+			off := rng.Uniform(-60, 60)
+			node := channel.Pose{
+				Pos:         pos,
+				Orientation: toAP + units.Deg2Rad(off),
+				Height:      heightRng.Uniform(-0.3, 0.3),
+			}
+			l := core.NewLink(env, node, ap)
+			ev := l.Evaluate()
+			res.Cells = append(res.Cells, Fig10Cell{
+				X: x, Y: y, OrientationDeg: off,
+				SNRWithout: ev.SNRWithoutOTAM,
+				SNRWith:    ev.SNRWithOTAM,
+			})
+			gains = append(gains, ev.SNRWithOTAM-ev.SNRWithoutOTAM)
+		}
+	}
+	env.Blockers = nil
+	n := float64(len(res.Cells))
+	for _, c := range res.Cells {
+		if c.SNRWithout < 5 {
+			res.FracBelow5Without++
+		}
+		if c.SNRWith < 5 {
+			res.FracBelow5With++
+		}
+		if c.SNRWith >= 10 {
+			res.FracAbove10With++
+		}
+	}
+	res.FracBelow5Without /= n
+	res.FracBelow5With /= n
+	res.FracAbove10With /= n
+	res.MedianGainDB = stats.Median(gains)
+	return res
+}
+
+func (r Fig10Result) table(step int) *Table {
+	t := &Table{
+		Title:   "Fig. 10 — SNR at the AP across node placements (6m x 4m lab, LoS blocked)",
+		Headers: []string{"x (m)", "y (m)", "orient (deg)", "SNR w/o OTAM", "SNR w/ OTAM"},
+	}
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Cells); i += step {
+		c := r.Cells[i]
+		t.AddRow(f2(c.X), f2(c.Y), f1(c.OrientationDeg), f1(c.SNRWithout), f1(c.SNRWith))
+	}
+	return t
+}
+
+// CSV exports the full SNR map.
+func (r Fig10Result) CSV() string { return r.table(1).CSV() }
+
+// String renders the Fig. 10 summary and map sample.
+func (r Fig10Result) String() string {
+	return r.table(len(r.Cells)/24).String() + fmt.Sprintf(
+		"locations <5 dB: %.0f%% without OTAM vs %.0f%% with  |  ≥10 dB with OTAM: %.0f%%  |  median OTAM gain: %.1f dB\n",
+		100*r.FracBelow5Without, 100*r.FracBelow5With, 100*r.FracAbove10With, r.MedianGainDB)
+}
+
+// Fig11Result is the BER CDF of §9.3.
+type Fig11Result struct {
+	BERWithout, BERWith []float64
+	MedianWithout       float64
+	MedianWith          float64
+	P90Without          float64
+	P90With             float64
+}
+
+// Fig11 measures SNR at random poses (like §9.3's 30 locations /
+// heights / orientations) and converts each to BER with the standard ASK
+// table.
+func Fig11(seed uint64, locations int) Fig11Result {
+	rng := stats.NewRNG(seed)
+	heightRng := stats.NewRNG(seed + 7777)
+	env := channel.NewEnvironment(channel.NewLabRoom(rng), units.ISM24GHzCenter)
+	ap := channel.Pose{Pos: channel.Vec2{X: 0.3, Y: 2}, Orientation: 0}
+	env.Blockers = []*channel.Blocker{fixedLabBlocker(rng)}
+	var res Fig11Result
+	for i := 0; i < locations; i++ {
+		pos := channel.Vec2{X: rng.Uniform(1, 5.75), Y: rng.Uniform(0.3, 3.7)}
+		toAP := ap.Pos.Sub(pos).Angle()
+		node := channel.Pose{
+			Pos:         pos,
+			Orientation: toAP + units.Deg2Rad(rng.Uniform(-60, 60)),
+			Height:      heightRng.Uniform(-0.3, 0.3),
+		}
+		ev := core.NewLink(env, node, ap).Evaluate()
+		res.BERWithout = append(res.BERWithout, ev.BERWithoutOTAM())
+		res.BERWith = append(res.BERWith, ev.BERWithOTAM())
+	}
+	env.Blockers = nil
+	res.MedianWithout = stats.Median(res.BERWithout)
+	res.MedianWith = stats.Median(res.BERWith)
+	res.P90Without = stats.Percentile(res.BERWithout, 90)
+	res.P90With = stats.Percentile(res.BERWith, 90)
+	return res
+}
+
+func (r Fig11Result) table() *Table {
+	t := &Table{
+		Title:   "Fig. 11 — BER CDF (paper: w/o OTAM median 1e-5, p90 0.3; w/ OTAM median 1e-12, p90 1e-3)",
+		Headers: []string{"", "median", "90th percentile"},
+	}
+	t.AddRow("without OTAM", sci(r.MedianWithout), sci(r.P90Without))
+	t.AddRow("with OTAM", sci(r.MedianWith), sci(r.P90With))
+	return t
+}
+
+// String renders the Fig. 11 CDF anchors.
+func (r Fig11Result) String() string { return r.table().String() }
+
+// CSV exports the per-pose BER samples (full CDF data).
+func (r Fig11Result) CSV() string {
+	t := &Table{Headers: []string{"pose", "BER without OTAM", "BER with OTAM"}}
+	for i := range r.BERWithout {
+		t.AddRow(fmt.Sprintf("%d", i), sci(r.BERWithout[i]), sci(r.BERWith[i]))
+	}
+	return t.CSV()
+}
+
+// Fig12Point is one distance sample of the range experiment.
+type Fig12Point struct {
+	DistanceM float64
+	// SNRFacing: node boresight at the AP (scenario 1).
+	SNRFacing float64
+	// SNRNotFacing: node rotated so a Beam 0 arm covers the AP
+	// (scenario 2).
+	SNRNotFacing float64
+}
+
+// Fig12Result is SNR vs distance (§9.4).
+type Fig12Result struct {
+	Points []Fig12Point
+	// At18mFacing / At18mNotFacing anchor the paper's claims (≥15 dB and
+	// ≈9 dB).
+	At18mFacing, At18mNotFacing float64
+}
+
+// Fig12 sweeps the node-AP distance in a long corridor-like space.
+func Fig12(seed uint64, maxDistance float64, step float64) Fig12Result {
+	rng := stats.NewRNG(seed)
+	env := channel.NewEnvironment(channel.NewRoom(maxDistance+3, 6, rng), units.ISM24GHzCenter)
+	var res Fig12Result
+	y := 3.0
+	for d := 1.0; d <= maxDistance+1e-9; d += step {
+		node := channel.Pose{Pos: channel.Vec2{X: 1, Y: y}}
+		ap := channel.Pose{Pos: channel.Vec2{X: 1 + d, Y: y}, Orientation: math.Pi}
+		facing := core.NewLink(env, node, ap).Evaluate().SNRWithOTAM
+		rot := node
+		rot.Orientation = units.Deg2Rad(30) // AP sits on a Beam 0 arm
+		notFacing := core.NewLink(env, rot, ap).Evaluate().SNRWithOTAM
+		res.Points = append(res.Points, Fig12Point{DistanceM: d, SNRFacing: facing, SNRNotFacing: notFacing})
+		if math.Abs(d-18) < step/2 {
+			res.At18mFacing = facing
+			res.At18mNotFacing = notFacing
+		}
+	}
+	return res
+}
+
+func (r Fig12Result) table() *Table {
+	t := &Table{
+		Title:   "Fig. 12 — SNR vs distance (scenario 1: facing; scenario 2: not facing)",
+		Headers: []string{"distance (m)", "SNR facing (dB)", "SNR not facing (dB)"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(f1(p.DistanceM), f1(p.SNRFacing), f1(p.SNRNotFacing))
+	}
+	return t
+}
+
+// CSV exports the Fig. 12 series.
+func (r Fig12Result) CSV() string { return r.table().CSV() }
+
+// String renders the Fig. 12 series.
+func (r Fig12Result) String() string {
+	return r.table().String() + fmt.Sprintf("at 18 m: facing %.1f dB, not facing %.1f dB\n",
+		r.At18mFacing, r.At18mNotFacing)
+}

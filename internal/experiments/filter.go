@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mmx/internal/channel"
+	"mmx/internal/core"
+	"mmx/internal/rf"
+	"mmx/internal/stats"
+	"mmx/internal/units"
+)
+
+// AblationFilterRow is one interferer frequency in the front-end filter
+// study.
+type AblationFilterRow struct {
+	InterfererGHz  float64
+	RejectionDB    float64
+	SINRWithFilter float64
+	SINRNoFilter   float64
+}
+
+// AblationFilterResult quantifies §5.2's design choice: "to reduce the
+// possible interference from the out of band sources, the output of the
+// LNA is fed to a filter" — the PCB coupled-line filter that costs
+// nothing. A strong emitter sweeps across and beyond the ISM band; the
+// filter's rejection keeps the link alive outside the band.
+type AblationFilterResult struct {
+	LinkSNRdB float64
+	Rows      []AblationFilterRow
+}
+
+// AblationFilter evaluates a mid-room link against a nearby wideband
+// emitter (an automotive radar-class source: 20 dBm EIRP at 4 m) at
+// several frequencies, with and without the AP's coupled-line filter.
+func AblationFilter(seed uint64) AblationFilterResult {
+	rng := stats.NewRNG(seed)
+	env := channel.NewEnvironment(channel.NewRoom(10, 6, rng), units.ISM24GHzCenter)
+	node := channel.Pose{Pos: channel.Vec2{X: 1, Y: 3}}
+	ap := channel.Pose{Pos: channel.Vec2{X: 6, Y: 3}, Orientation: math.Pi}
+	l := core.NewLink(env, node, ap)
+	ev := l.Evaluate()
+	sig := math.Pow(10, ev.SNRWithOTAM/10) * ev.NoisePowerW // watts at slicer
+
+	filter := rf.NewCoupledLineFilter()
+	const (
+		interfererEIRPdBm = 20.0
+		interfererDist    = 4.0
+	)
+	res := AblationFilterResult{LinkSNRdB: ev.SNRWithOTAM}
+	for _, fGHz := range []float64{24.125, 24.35, 24.6, 25.0, 26.0} {
+		f := fGHz * 1e9
+		// Received interferer power (isotropic AP side lobe toward it).
+		rxDBm := interfererEIRPdBm - units.FSPL(interfererDist, f)
+		iw := units.FromDBm(rxDBm)
+		rej := filter.RejectionDB(f)
+		withF := units.DB(sig / (ev.NoisePowerW + iw*units.FromDB(-rej)))
+		noF := units.DB(sig / (ev.NoisePowerW + iw))
+		res.Rows = append(res.Rows, AblationFilterRow{
+			InterfererGHz:  fGHz,
+			RejectionDB:    rej,
+			SINRWithFilter: withF,
+			SINRNoFilter:   noF,
+		})
+	}
+	return res
+}
+
+func (r AblationFilterResult) table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Ablation — coupled-line filter vs out-of-band interference (link SNR %.1f dB)", r.LinkSNRdB),
+		Headers: []string{"interferer (GHz)", "rejection (dB)", "SINR w/ filter", "SINR w/o filter"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(f3(row.InterfererGHz), f1(row.RejectionDB), f1(row.SINRWithFilter), f1(row.SINRNoFilter))
+	}
+	return t
+}
+
+// CSV exports the interference sweep.
+func (r AblationFilterResult) CSV() string { return r.table().CSV() }
+
+// String renders the interference sweep.
+func (r AblationFilterResult) String() string { return r.table().String() }

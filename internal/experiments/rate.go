@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mmx/internal/channel"
+	"mmx/internal/core"
+	"mmx/internal/stats"
+	"mmx/internal/units"
+)
+
+// ExtRatePoint is one distance sample of the rate-adaptation sweep.
+type ExtRatePoint struct {
+	DistanceM float64
+	// LadderBps is the discrete step the node would pick (switch-speed
+	// adaptation, §5.1); AchievableBps is the continuous bound.
+	LadderBps, AchievableBps float64
+}
+
+// ExtRateResult is achievable rate vs distance at a fixed BER target.
+type ExtRateResult struct {
+	TargetBER float64
+	Points    []ExtRatePoint
+	// RangeAt100Mbps is how far the full rate reaches; RangeAt1Mbps how
+	// far any useful link reaches.
+	RangeAt100Mbps, RangeAt1Mbps float64
+}
+
+// ExtRate sweeps the node-AP distance and adapts the symbol rate (the
+// SPDT switching speed) to hold a BER target — mmX's rate ladder.
+func ExtRate(seed uint64, maxDistance, step float64, targetBER float64) ExtRateResult {
+	rng := stats.NewRNG(seed)
+	env := channel.NewEnvironment(channel.NewRoom(maxDistance+4, 6, rng), units.ISM24GHzCenter)
+	res := ExtRateResult{TargetBER: targetBER}
+	for d := 1.0; d <= maxDistance+1e-9; d += step {
+		node := channel.Pose{Pos: channel.Vec2{X: 1, Y: 3}}
+		ap := channel.Pose{Pos: channel.Vec2{X: 1 + d, Y: 3}, Orientation: math.Pi}
+		l := core.NewLink(env, node, ap)
+		p := ExtRatePoint{
+			DistanceM:     d,
+			LadderBps:     l.AdaptRate(targetBER),
+			AchievableBps: l.AchievableRate(targetBER),
+		}
+		res.Points = append(res.Points, p)
+		if p.LadderBps >= 100e6 {
+			res.RangeAt100Mbps = d
+		}
+		if p.LadderBps >= 1e6 {
+			res.RangeAt1Mbps = d
+		}
+	}
+	return res
+}
+
+func (r ExtRateResult) table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Extension — rate adaptation via switch speed (§5.1), BER target %.0e", r.TargetBER),
+		Headers: []string{
+			"distance (m)", "ladder rate", "achievable",
+		},
+	}
+	for _, p := range r.Points {
+		t.AddRow(f1(p.DistanceM), units.FormatBitrate(p.LadderBps), units.FormatBitrate(p.AchievableBps))
+	}
+	return t
+}
+
+// CSV exports the rate sweep.
+func (r ExtRateResult) CSV() string { return r.table().CSV() }
+
+// String renders the rate-vs-distance sweep.
+func (r ExtRateResult) String() string {
+	return r.table().String() + fmt.Sprintf("100 Mbps holds to %.0f m; ≥1 Mbps holds to %.0f m\n",
+		r.RangeAt100Mbps, r.RangeAt1Mbps)
+}

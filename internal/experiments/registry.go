@@ -1,0 +1,120 @@
+package experiments
+
+import "fmt"
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the short name used by cmd/mmx-bench (e.g. "fig10").
+	ID string
+	// Paper describes the artifact being reproduced.
+	Paper string
+	// Run executes the experiment with the given seed and returns a
+	// printable result.
+	Run func(seed uint64) fmt.Stringer
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID: "fig7", Paper: "Fig. 7: VCO tuning curve",
+			Run: func(seed uint64) fmt.Stringer { return Fig7(16) },
+		},
+		{
+			ID: "fig8", Paper: "Fig. 8: node beam patterns",
+			Run: func(seed uint64) fmt.Stringer { return Fig8(720) },
+		},
+		{
+			ID: "fig9", Paper: "Fig. 9: joint ASK-FSK example captures",
+			Run: func(seed uint64) fmt.Stringer { return Fig9(seed) },
+		},
+		{
+			ID: "fig10", Paper: "Fig. 10: SNR maps with/without OTAM",
+			Run: func(seed uint64) fmt.Stringer { return Fig10(seed, 0.25) },
+		},
+		{
+			ID: "fig11", Paper: "Fig. 11: BER CDF",
+			Run: func(seed uint64) fmt.Stringer { return Fig11(seed, 30) },
+		},
+		{
+			ID: "fig12", Paper: "Fig. 12: SNR vs distance",
+			Run: func(seed uint64) fmt.Stringer { return Fig12(seed, 18, 1) },
+		},
+		{
+			ID: "fig13", Paper: "Fig. 13: multi-node SNR",
+			Run: func(seed uint64) fmt.Stringer {
+				return Fig13(seed, []int{1, 2, 5, 10, 20}, 20)
+			},
+		},
+		{
+			ID: "table1", Paper: "Table 1: platform comparison",
+			Run: func(seed uint64) fmt.Stringer { return Table1() },
+		},
+		{
+			ID: "micro", Paper: "§9.1 microbenchmarks (rate, power, nJ/bit)",
+			Run: func(seed uint64) fmt.Stringer { return Micro() },
+		},
+		{
+			ID: "ablation-beams", Paper: "Ablation: orthogonal vs non-orthogonal beams",
+			Run: func(seed uint64) fmt.Stringer { return AblationBeams(seed, 400) },
+		},
+		{
+			ID: "ablation-modality", Paper: "Ablation: ASK vs FSK vs joint decoding",
+			Run: func(seed uint64) fmt.Stringer { return AblationModality(seed, 400) },
+		},
+		{
+			ID: "ablation-tma", Paper: "Ablation: TMA separation vs elements",
+			Run: func(seed uint64) fmt.Stringer { return AblationTMA(seed, 200) },
+		},
+		{
+			ID: "ablation-sdm", Paper: "Ablation: FDM-only vs FDM+SDM capacity",
+			Run: func(seed uint64) fmt.Stringer { return AblationSDM(seed, 16, 40e6) },
+		},
+		{
+			ID: "ablation-search", Paper: "Ablation: beam-search cost vs OTAM",
+			Run: func(seed uint64) fmt.Stringer { return AblationSearch(seed) },
+		},
+		{
+			ID: "ablation-filter", Paper: "Ablation: coupled-line filter vs out-of-band interference (§5.2)",
+			Run: func(seed uint64) fmt.Stringer { return AblationFilter(seed) },
+		},
+		{
+			ID: "ext-fec", Paper: "Extension: error-correction coding (§9.3)",
+			Run: func(seed uint64) fmt.Stringer { return ExtFEC(seed, 400) },
+		},
+		{
+			ID: "ext-narrowbeam", Paper: "Extension: narrower beams, range vs FoV (§9.1)",
+			Run: func(seed uint64) fmt.Stringer { return ExtNarrowBeam(seed) },
+		},
+		{
+			ID: "ext-backside", Paper: "Extension: back-side patch arrays (§9.1)",
+			Run: func(seed uint64) fmt.Stringer { return ExtBackside(seed) },
+		},
+		{
+			ID: "ext-60ghz", Paper: "Extension: scaling to the 60 GHz band (§7a)",
+			Run: func(seed uint64) fmt.Stringer { return Ext60GHz(seed) },
+		},
+		{
+			ID: "ext-mobility", Paper: "Extension: mobility, OTAM vs beam searching (§6)",
+			Run: func(seed uint64) fmt.Stringer { return ExtMobility(seed) },
+		},
+		{
+			ID: "ext-rate", Paper: "Extension: rate adaptation via switch speed (§5.1)",
+			Run: func(seed uint64) fmt.Stringer { return ExtRate(seed, 60, 3, 1e-6) },
+		},
+		{
+			ID: "ext-scale", Paper: "Extension: dense deployment, 24 vs 60 GHz (§7a)",
+			Run: func(seed uint64) fmt.Stringer { return ExtScale(seed, 40) },
+		},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

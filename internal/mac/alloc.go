@@ -1,0 +1,198 @@
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Assignment is one node's FDM channel.
+type Assignment struct {
+	NodeID   uint32
+	CenterHz float64
+	WidthHz  float64
+	// FSKOffsetHz is the per-beam VCO offset the node should use inside
+	// its channel for joint ASK-FSK.
+	FSKOffsetHz float64
+}
+
+// Low and High return the channel edges.
+func (a Assignment) Low() float64  { return a.CenterHz - a.WidthHz/2 }
+func (a Assignment) High() float64 { return a.CenterHz + a.WidthHz/2 }
+
+// Policy selects how the allocator places a new channel among the free
+// gaps.
+type Policy int
+
+// Allocation policies.
+const (
+	// FirstFit takes the lowest-frequency gap that fits — fast and
+	// cache-friendly, but can fragment the band under churn.
+	FirstFit Policy = iota
+	// BestFit takes the smallest gap that fits, preserving large gaps
+	// for future wide channels.
+	BestFit
+)
+
+// Allocator hands out non-overlapping FDM channels from a band, sized by
+// each node's demand (§4: "the bandwidth of an allocated channel depends
+// on the data rate requirement of the IoT node").
+type Allocator struct {
+	band Band
+	// byNode maps node ID → current assignment.
+	byNode map[uint32]Assignment
+	// FSKFraction sets each assignment's FSK offset as a fraction of its
+	// channel width.
+	FSKFraction float64
+	// Policy selects the gap-placement strategy (FirstFit default).
+	Policy Policy
+}
+
+// NewAllocator creates an allocator over the band.
+func NewAllocator(band Band) *Allocator {
+	return &Allocator{
+		band:        band,
+		byNode:      make(map[uint32]Assignment),
+		FSKFraction: 0.05,
+	}
+}
+
+// Errors from allocation.
+var (
+	ErrBandFull         = errors.New("mac: no contiguous spectrum left for the requested rate")
+	ErrAlreadyAllocated = errors.New("mac: node already holds a channel")
+	ErrNotAllocated     = errors.New("mac: node holds no channel")
+	ErrBadDemand        = errors.New("mac: demand must be positive")
+)
+
+// Allocate grants nodeID a channel wide enough for demandBps. It returns
+// ErrBandFull when FDM is exhausted — the caller's cue to fall back to
+// spatial reuse (SDM) on an existing channel.
+func (al *Allocator) Allocate(nodeID uint32, demandBps float64) (Assignment, error) {
+	if demandBps <= 0 {
+		return Assignment{}, ErrBadDemand
+	}
+	if _, ok := al.byNode[nodeID]; ok {
+		return Assignment{}, ErrAlreadyAllocated
+	}
+	width := BandwidthForRate(demandBps)
+	lo, ok := al.placeChannel(width)
+	if !ok {
+		return Assignment{}, ErrBandFull
+	}
+	asg := Assignment{
+		NodeID:      nodeID,
+		CenterHz:    lo + width/2,
+		WidthHz:     width,
+		FSKOffsetHz: width * al.FSKFraction,
+	}
+	al.byNode[nodeID] = asg
+	return asg, nil
+}
+
+// gap is a free span of spectrum.
+type gap struct{ lo, hi float64 }
+
+// freeGaps returns the free spans between assignments, low to high.
+func (al *Allocator) freeGaps() []gap {
+	var gaps []gap
+	cursor := al.band.LowHz
+	for _, a := range al.sorted() {
+		if a.Low() > cursor {
+			gaps = append(gaps, gap{cursor, a.Low()})
+		}
+		if a.High() > cursor {
+			cursor = a.High()
+		}
+	}
+	if cursor < al.band.HighHz {
+		gaps = append(gaps, gap{cursor, al.band.HighHz})
+	}
+	return gaps
+}
+
+// placeChannel picks the low edge of a new channel of the given width
+// per the allocator's policy. ok is false when nothing fits.
+func (al *Allocator) placeChannel(width float64) (float64, bool) {
+	var best gap
+	found := false
+	for _, g := range al.freeGaps() {
+		if g.hi-g.lo < width {
+			continue
+		}
+		switch al.Policy {
+		case BestFit:
+			if !found || g.hi-g.lo < best.hi-best.lo {
+				best = g
+				found = true
+			}
+		default: // FirstFit
+			return g.lo, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return best.lo, true
+}
+
+// Release frees nodeID's channel.
+func (al *Allocator) Release(nodeID uint32) error {
+	if _, ok := al.byNode[nodeID]; !ok {
+		return ErrNotAllocated
+	}
+	delete(al.byNode, nodeID)
+	return nil
+}
+
+// Lookup returns a node's current assignment.
+func (al *Allocator) Lookup(nodeID uint32) (Assignment, bool) {
+	a, ok := al.byNode[nodeID]
+	return a, ok
+}
+
+// Assignments returns all live assignments ordered by frequency.
+func (al *Allocator) Assignments() []Assignment { return al.sorted() }
+
+// FreeHz returns the total unallocated spectrum.
+func (al *Allocator) FreeHz() float64 {
+	used := 0.0
+	for _, a := range al.byNode {
+		used += a.WidthHz
+	}
+	return al.band.Width() - used
+}
+
+// Utilization returns the allocated fraction of the band in [0,1].
+func (al *Allocator) Utilization() float64 {
+	if al.band.Width() <= 0 {
+		return 0
+	}
+	return 1 - al.FreeHz()/al.band.Width()
+}
+
+// Validate checks the allocator's invariants: every assignment inside the
+// band and no two overlapping. It returns nil when consistent (used by
+// property tests).
+func (al *Allocator) Validate() error {
+	sorted := al.sorted()
+	for i, a := range sorted {
+		if !al.band.Contains(a.Low(), a.High()) {
+			return fmt.Errorf("assignment %d outside band", a.NodeID)
+		}
+		if i > 0 && a.Low() < sorted[i-1].High()-1e-6 {
+			return fmt.Errorf("assignments %d and %d overlap",
+				sorted[i-1].NodeID, a.NodeID)
+		}
+	}
+	return nil
+}
+
+func (al *Allocator) sorted() []Assignment {
+	out := make([]Assignment, 0, len(al.byNode))
+	for _, a := range al.byNode {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CenterHz < out[j].CenterHz })
+	return out
+}

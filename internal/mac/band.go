@@ -1,0 +1,58 @@
+// Package mac implements mmX's medium-access layer (§4, §7): the spectrum
+// bands the network can use, the FDM channel allocator that hands each
+// node a slice of bandwidth sized to its data-rate demand during the
+// one-time initialization phase, and the control-protocol messages the AP
+// and nodes exchange over the WiFi/Bluetooth side channel to set it all
+// up. Spatial reuse (SDM) on top of FDM lives in internal/tma and
+// internal/simnet.
+package mac
+
+import (
+	"fmt"
+
+	"mmx/internal/units"
+)
+
+// Band is a contiguous span of spectrum.
+type Band struct {
+	LowHz, HighHz float64
+}
+
+// Width returns the band's extent in Hz.
+func (b Band) Width() float64 { return b.HighHz - b.LowHz }
+
+// Contains reports whether [lo, hi] fits inside the band.
+func (b Band) Contains(lo, hi float64) bool {
+	return lo >= b.LowHz && hi <= b.HighHz && lo <= hi
+}
+
+// String renders the band, e.g. "24-24.25 GHz".
+func (b Band) String() string {
+	return fmt.Sprintf("%s-%s", units.FormatHz(b.LowHz), units.FormatHz(b.HighHz))
+}
+
+// ISM24GHz is the 250 MHz unlicensed band the mmX prototype operates in.
+func ISM24GHz() Band {
+	return Band{LowHz: units.ISM24GHzLow, HighHz: units.ISM24GHzHigh}
+}
+
+// Unlicensed60GHz is the 7 GHz band §7(a) cites for scaling beyond the
+// prototype.
+func Unlicensed60GHz() Band {
+	return Band{LowHz: units.Band60GHzLow, HighHz: units.Band60GHzHigh}
+}
+
+// OOKSpectralEfficiency is the bits/s per Hz of channel an mmX node
+// achieves: on-off keying needs roughly one Hz per bit per second, and the
+// allocator adds guard margin on top.
+const OOKSpectralEfficiency = 1.0
+
+// BandwidthForRate returns the channel width needed to carry bps,
+// including a 25% guard allowance, floored at 1 MHz.
+func BandwidthForRate(bps float64) float64 {
+	w := bps / OOKSpectralEfficiency * 1.25
+	if w < 1e6 {
+		w = 1e6
+	}
+	return w
+}

@@ -1,0 +1,337 @@
+package mac
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mmx/internal/stats"
+)
+
+func TestBands(t *testing.T) {
+	ism := ISM24GHz()
+	if ism.Width() != 250e6 {
+		t.Errorf("ISM width = %g", ism.Width())
+	}
+	b60 := Unlicensed60GHz()
+	if b60.Width() != 7e9 {
+		t.Errorf("60 GHz width = %g", b60.Width())
+	}
+	if !ism.Contains(24.0e9, 24.1e9) || ism.Contains(23.9e9, 24.1e9) {
+		t.Error("Contains wrong")
+	}
+	if ism.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestBandwidthForRate(t *testing.T) {
+	// 10 Mbps HD camera → 12.5 MHz with guard.
+	if got := BandwidthForRate(10e6); got != 12.5e6 {
+		t.Errorf("BandwidthForRate(10M) = %g", got)
+	}
+	// Tiny telemetry floors at 1 MHz.
+	if got := BandwidthForRate(1000); got != 1e6 {
+		t.Errorf("floor = %g", got)
+	}
+}
+
+func TestAllocateBasic(t *testing.T) {
+	al := NewAllocator(ISM24GHz())
+	a, err := al.Allocate(1, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WidthHz != 12.5e6 {
+		t.Errorf("width = %g", a.WidthHz)
+	}
+	if a.Low() < 24.0e9 {
+		t.Errorf("low edge = %g", a.Low())
+	}
+	if a.FSKOffsetHz <= 0 || a.FSKOffsetHz >= a.WidthHz {
+		t.Errorf("FSK offset = %g", a.FSKOffsetHz)
+	}
+	if _, ok := al.Lookup(1); !ok {
+		t.Error("Lookup missed")
+	}
+	if err := al.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	al := NewAllocator(ISM24GHz())
+	if _, err := al.Allocate(1, 0); err != ErrBadDemand {
+		t.Errorf("zero demand: %v", err)
+	}
+	if _, err := al.Allocate(1, 10e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Allocate(1, 10e6); err != ErrAlreadyAllocated {
+		t.Errorf("double allocate: %v", err)
+	}
+	if err := al.Release(99); err != ErrNotAllocated {
+		t.Errorf("release unknown: %v", err)
+	}
+}
+
+func TestBandFullAndReuseAfterRelease(t *testing.T) {
+	al := NewAllocator(ISM24GHz())
+	// 250 MHz / 125 MHz per 100 Mbps node → exactly 2 fit.
+	if _, err := al.Allocate(1, 100e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Allocate(2, 100e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Allocate(3, 100e6); !errors.Is(err, ErrBandFull) {
+		t.Fatalf("expected band full, got %v", err)
+	}
+	if err := al.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Allocate(3, 100e6); err != nil {
+		t.Fatalf("reuse after release: %v", err)
+	}
+	if err := al.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFirstFitFillsGaps(t *testing.T) {
+	al := NewAllocator(ISM24GHz())
+	// Three 50 Mbps nodes, drop the middle one, then a small node should
+	// land in the gap, not at the end.
+	for id := uint32(1); id <= 3; id++ {
+		if _, err := al.Allocate(id, 50e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid, _ := al.Lookup(2)
+	if err := al.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	small, err := al.Allocate(4, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Low() < mid.Low()-1 || small.High() > mid.High()+1 {
+		t.Errorf("small channel [%g,%g] not placed in gap [%g,%g]",
+			small.Low(), small.High(), mid.Low(), mid.High())
+	}
+	if err := al.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationAndFree(t *testing.T) {
+	al := NewAllocator(ISM24GHz())
+	if al.Utilization() != 0 {
+		t.Error("fresh allocator should be empty")
+	}
+	al.Allocate(1, 100e6)
+	if u := al.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.5", u)
+	}
+	if f := al.FreeHz(); math.Abs(f-125e6) > 1 {
+		t.Errorf("free = %g", f)
+	}
+}
+
+func TestAllocatorInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		al := NewAllocator(ISM24GHz())
+		live := map[uint32]bool{}
+		for op := 0; op < 200; op++ {
+			id := uint32(rng.Intn(20))
+			if rng.Bool() && !live[id] {
+				demand := rng.Uniform(1e6, 60e6)
+				if _, err := al.Allocate(id, demand); err == nil {
+					live[id] = true
+				}
+			} else if live[id] {
+				if al.Release(id) != nil {
+					return false
+				}
+				delete(live, id)
+			}
+			if al.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtoRoundtrips(t *testing.T) {
+	msgs := []any{
+		JoinRequest{NodeID: 7, DemandBps: 8e6},
+		AssignmentMsg{NodeID: 7, CenterHz: 24.05e9, WidthHz: 10e6, FSKOffsetHz: 5e5},
+		ReleaseMsg{NodeID: 7},
+		RejectMsg{NodeID: 7, ShareHz: 24.01e9, Harmonic: -3},
+	}
+	for _, m := range msgs {
+		raw, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		got, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		if got != m {
+			t.Errorf("roundtrip %T: %#v != %#v", m, got, m)
+		}
+	}
+}
+
+func TestProtoErrors(t *testing.T) {
+	if _, err := Marshal(42); err != ErrUnknownType {
+		t.Errorf("unknown type: %v", err)
+	}
+	if _, err := Unmarshal(nil); err != ErrShortMessage {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Unmarshal([]byte{0xFF}); err != ErrUnknownType {
+		t.Errorf("bad tag: %v", err)
+	}
+	raw, _ := Marshal(JoinRequest{NodeID: 1, DemandBps: 1e6})
+	if _, err := Unmarshal(raw[:4]); err != ErrShortMessage {
+		t.Errorf("truncated: %v", err)
+	}
+	for _, m := range []any{
+		AssignmentMsg{NodeID: 1}, ReleaseMsg{NodeID: 1}, RejectMsg{NodeID: 1},
+	} {
+		raw, _ := Marshal(m)
+		if _, err := Unmarshal(raw[:len(raw)-1]); err != ErrShortMessage {
+			t.Errorf("truncated %T: %v", m, err)
+		}
+	}
+}
+
+func TestControllerGrantAndReject(t *testing.T) {
+	c := NewController(ISM24GHz())
+	ask := func(id uint32, bps float64) any {
+		raw, _ := Marshal(JoinRequest{NodeID: id, DemandBps: bps})
+		reply, err := c.Handle(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := Unmarshal(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return msg
+	}
+	// Two 100 Mbps grants fill the ISM band.
+	if _, ok := ask(1, 100e6).(AssignmentMsg); !ok {
+		t.Fatal("first join should be granted")
+	}
+	if _, ok := ask(2, 100e6).(AssignmentMsg); !ok {
+		t.Fatal("second join should be granted")
+	}
+	rej, ok := ask(3, 100e6).(RejectMsg)
+	if !ok {
+		t.Fatal("third join should be rejected into SDM")
+	}
+	if rej.Harmonic == 0 {
+		t.Error("reject should carry an SDM harmonic slot")
+	}
+	// Distinct harmonics for consecutive overflow nodes.
+	rej2 := ask(4, 100e6).(RejectMsg)
+	if rej2.Harmonic == rej.Harmonic {
+		t.Error("SDM slots should rotate")
+	}
+	// Release frees spectrum for a new join.
+	raw, _ := Marshal(ReleaseMsg{NodeID: 1})
+	if reply, err := c.Handle(raw); err != nil || reply != nil {
+		t.Fatalf("release: %v %v", reply, err)
+	}
+	if _, ok := ask(5, 100e6).(AssignmentMsg); !ok {
+		t.Error("join after release should be granted")
+	}
+}
+
+func TestControllerBadInput(t *testing.T) {
+	c := NewController(ISM24GHz())
+	if _, err := c.Handle([]byte{0xFF}); err == nil {
+		t.Error("bad message should error")
+	}
+	// An Assignment sent *to* the controller is not a request.
+	raw, _ := Marshal(AssignmentMsg{NodeID: 1})
+	if _, err := c.Handle(raw); err != ErrUnknownType {
+		t.Errorf("unexpected direction: %v", err)
+	}
+	// Zero-demand join propagates the allocator error.
+	raw, _ = Marshal(JoinRequest{NodeID: 1, DemandBps: 0})
+	if _, err := c.Handle(raw); !errors.Is(err, ErrBadDemand) {
+		t.Errorf("zero demand: %v", err)
+	}
+}
+
+func TestFreeGaps(t *testing.T) {
+	al := NewAllocator(ISM24GHz())
+	if gaps := al.freeGaps(); len(gaps) != 1 || gaps[0].hi-gaps[0].lo != 250e6 {
+		t.Fatalf("fresh gaps = %v", gaps)
+	}
+	al.Allocate(1, 40e6) // 50 MHz at the bottom
+	al.Allocate(2, 40e6)
+	al.Release(1)
+	gaps := al.freeGaps()
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if gaps[0].hi-gaps[0].lo != 50e6 {
+		t.Errorf("freed gap = %g", gaps[0].hi-gaps[0].lo)
+	}
+}
+
+func TestBestFitPreservesLargeGaps(t *testing.T) {
+	// Layout: a 100 MHz gap at the bottom of the band and an exact
+	// 50 MHz gap higher up. A 50 MHz request under FirstFit carves the
+	// big gap (fragmenting it); BestFit takes the exact-fit gap, so a
+	// later 100 MHz channel still fits.
+	build := func(policy Policy) *Allocator {
+		al := NewAllocator(ISM24GHz())
+		al.Policy = policy
+		al.Allocate(1, 80e6) // [0,100)
+		al.Allocate(2, 40e6) // [100,150)
+		al.Allocate(3, 40e6) // [150,200)
+		al.Allocate(4, 40e6) // [200,250)
+		al.Release(1)        // big gap low: [0,100)
+		al.Release(3)        // exact gap high: [150,200)
+		return al
+	}
+	ff := build(FirstFit)
+	bf := build(BestFit)
+
+	a1, err := ff.Allocate(10, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Low() != ff.band.LowHz {
+		t.Errorf("FirstFit placed at +%g MHz, want band low", (a1.Low()-ff.band.LowHz)/1e6)
+	}
+	a2, err := bf.Allocate(10, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Low() != bf.band.LowHz+150e6 {
+		t.Errorf("BestFit placed at +%g MHz, want +150", (a2.Low()-bf.band.LowHz)/1e6)
+	}
+	// Consequence: only BestFit can still admit an 80 Mbps (100 MHz) node.
+	if _, err := bf.Allocate(11, 80e6); err != nil {
+		t.Errorf("BestFit should still fit the wide channel: %v", err)
+	}
+	if _, err := ff.Allocate(11, 80e6); err == nil {
+		t.Error("FirstFit fragmented the band and should fail")
+	}
+	if ff.Validate() != nil || bf.Validate() != nil {
+		t.Error("invariants broken")
+	}
+}

@@ -1,0 +1,199 @@
+package mac
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// The initialization protocol (§4, §7a): before any mmWave transmission, a
+// node asks the AP for spectrum over a low-rate side channel (WiFi or
+// Bluetooth in the prototype) and receives its channel assignment. This
+// happens once; afterwards the node transmits autonomously. The wire
+// format is a fixed little-endian layout so the protocol can actually run
+// over any byte transport.
+
+// MsgType tags a control message.
+type MsgType uint8
+
+// Control message types.
+const (
+	MsgJoinRequest MsgType = iota + 1
+	MsgAssignment
+	MsgReject
+	MsgRelease
+)
+
+// JoinRequest is a node asking for a channel sized to its demand.
+type JoinRequest struct {
+	NodeID    uint32
+	DemandBps float64
+}
+
+// AssignmentMsg carries the AP's grant back to the node.
+type AssignmentMsg struct {
+	NodeID      uint32
+	CenterHz    float64
+	WidthHz     float64
+	FSKOffsetHz float64
+}
+
+// ReleaseMsg returns a node's channel to the pool.
+type ReleaseMsg struct{ NodeID uint32 }
+
+// RejectMsg tells a node no FDM spectrum is left; Harmonic is the SDM
+// harmonic slot it may share instead (negative values allowed), and
+// ShareHz the channel it should share.
+type RejectMsg struct {
+	NodeID  uint32
+	ShareHz float64
+	// Harmonic is encoded as a signed 8-bit value.
+	Harmonic int8
+}
+
+// Marshal errors.
+var (
+	ErrShortMessage = errors.New("mac: message truncated")
+	ErrUnknownType  = errors.New("mac: unknown message type")
+)
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func readF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// Marshal encodes any of the four control messages.
+func Marshal(msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case JoinRequest:
+		b := []byte{byte(MsgJoinRequest)}
+		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
+		return appendF64(b, m.DemandBps), nil
+	case AssignmentMsg:
+		b := []byte{byte(MsgAssignment)}
+		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
+		b = appendF64(b, m.CenterHz)
+		b = appendF64(b, m.WidthHz)
+		return appendF64(b, m.FSKOffsetHz), nil
+	case ReleaseMsg:
+		b := []byte{byte(MsgRelease)}
+		return binary.LittleEndian.AppendUint32(b, m.NodeID), nil
+	case RejectMsg:
+		b := []byte{byte(MsgReject)}
+		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
+		b = appendF64(b, m.ShareHz)
+		return append(b, byte(m.Harmonic)), nil
+	default:
+		return nil, ErrUnknownType
+	}
+}
+
+// Unmarshal decodes a control message produced by Marshal.
+func Unmarshal(b []byte) (any, error) {
+	if len(b) < 1 {
+		return nil, ErrShortMessage
+	}
+	switch MsgType(b[0]) {
+	case MsgJoinRequest:
+		if len(b) < 1+4+8 {
+			return nil, ErrShortMessage
+		}
+		return JoinRequest{
+			NodeID:    binary.LittleEndian.Uint32(b[1:]),
+			DemandBps: readF64(b[5:]),
+		}, nil
+	case MsgAssignment:
+		if len(b) < 1+4+24 {
+			return nil, ErrShortMessage
+		}
+		return AssignmentMsg{
+			NodeID:      binary.LittleEndian.Uint32(b[1:]),
+			CenterHz:    readF64(b[5:]),
+			WidthHz:     readF64(b[13:]),
+			FSKOffsetHz: readF64(b[21:]),
+		}, nil
+	case MsgRelease:
+		if len(b) < 1+4 {
+			return nil, ErrShortMessage
+		}
+		return ReleaseMsg{NodeID: binary.LittleEndian.Uint32(b[1:])}, nil
+	case MsgReject:
+		if len(b) < 1+4+8+1 {
+			return nil, ErrShortMessage
+		}
+		return RejectMsg{
+			NodeID:   binary.LittleEndian.Uint32(b[1:]),
+			ShareHz:  readF64(b[5:]),
+			Harmonic: int8(b[13]),
+		}, nil
+	default:
+		return nil, ErrUnknownType
+	}
+}
+
+// Controller is the AP-side handler of the initialization protocol: it
+// owns an Allocator and answers JoinRequests with Assignments (or a
+// Reject carrying an SDM share slot when FDM is exhausted).
+type Controller struct {
+	Alloc *Allocator
+	// nextHarmonic round-robins SDM slots handed to rejected nodes.
+	nextHarmonic int
+	// nextShare round-robins which existing channel each overflow node
+	// shares, spreading the SDM load across hosts.
+	nextShare int
+	// MaxHarmonic bounds the SDM slots (± the AP TMA's usable range).
+	MaxHarmonic int
+}
+
+// NewController builds the AP-side protocol handler over a band.
+func NewController(band Band) *Controller {
+	return &Controller{Alloc: NewAllocator(band), MaxHarmonic: 4}
+}
+
+// Handle processes one encoded control message and returns the encoded
+// reply (nil for Release, which has no reply).
+func (c *Controller) Handle(raw []byte) ([]byte, error) {
+	msg, err := Unmarshal(raw)
+	if err != nil {
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case JoinRequest:
+		asg, err := c.Alloc.Allocate(m.NodeID, m.DemandBps)
+		if err == nil {
+			return Marshal(AssignmentMsg{
+				NodeID:      m.NodeID,
+				CenterHz:    asg.CenterHz,
+				WidthHz:     asg.WidthHz,
+				FSKOffsetHz: asg.FSKOffsetHz,
+			})
+		}
+		if errors.Is(err, ErrBandFull) {
+			// Fall back to SDM: spread overflow nodes across existing
+			// channels round-robin, each on a rotating harmonic, so no
+			// single channel absorbs all the spatial reuse.
+			share := c.Alloc.band.LowHz + BandwidthForRate(m.DemandBps)/2
+			if got := c.Alloc.Assignments(); len(got) > 0 {
+				share = got[c.nextShare%len(got)].CenterHz
+				c.nextShare++
+			}
+			h := c.nextHarmonic%c.MaxHarmonic + 1
+			if c.nextHarmonic%2 == 1 {
+				h = -h
+			}
+			c.nextHarmonic++
+			return Marshal(RejectMsg{NodeID: m.NodeID, ShareHz: share, Harmonic: int8(h)})
+		}
+		return nil, err
+	case ReleaseMsg:
+		// Releasing an unknown node is a no-op, matching how APs treat
+		// stale releases.
+		_ = c.Alloc.Release(m.NodeID)
+		return nil, nil
+	default:
+		return nil, ErrUnknownType
+	}
+}

@@ -1,0 +1,66 @@
+package modem
+
+import (
+	"math"
+
+	"mmx/internal/stats"
+)
+
+// BERFloor is the smallest BER the analytic curves report, matching the
+// "<10^-15" axis floor of Fig. 11.
+const BERFloor = 1e-15
+
+// OOKBER returns the analytic bit-error rate of the mmX ASK (on-off
+// keying) link at a given peak SNR in dB. Following the paper's §9.3
+// ("substituting the SNR measurements into standard BER tables based on
+// the ASK modulation"), we use the coherent OOK expression
+//
+//	BER = Q(√SNR)
+//
+// with SNR the ratio of mark (peak) signal power to noise power at the
+// slicer. Anchor points: 10 dB → ≈8·10⁻⁴, 15 dB → ≈10⁻⁸, ≥17.5 dB →
+// ≤10⁻¹². The result is clamped to [BERFloor, 0.5].
+func OOKBER(snrDB float64) float64 {
+	if math.IsInf(snrDB, -1) {
+		return 0.5
+	}
+	snr := math.Pow(10, snrDB/10)
+	ber := stats.Q(math.Sqrt(snr))
+	if ber < BERFloor {
+		return BERFloor
+	}
+	if ber > 0.5 {
+		return 0.5
+	}
+	return ber
+}
+
+// FSKBER returns the analytic BER of non-coherent binary FSK at the given
+// SNR in dB: BER = ½·e^{−SNR/2}, clamped like OOKBER.
+func FSKBER(snrDB float64) float64 {
+	if math.IsInf(snrDB, -1) {
+		return 0.5
+	}
+	snr := math.Pow(10, snrDB/10)
+	ber := 0.5 * math.Exp(-snr/2)
+	if ber < BERFloor {
+		return BERFloor
+	}
+	if ber > 0.5 {
+		return 0.5
+	}
+	return ber
+}
+
+// RequiredSNRForOOKBER inverts OOKBER: the peak SNR in dB needed to reach
+// a target BER. Targets at or below BERFloor return the SNR for BERFloor.
+func RequiredSNRForOOKBER(ber float64) float64 {
+	if ber >= 0.5 {
+		return math.Inf(-1)
+	}
+	if ber < BERFloor {
+		ber = BERFloor
+	}
+	x := stats.QInv(ber)
+	return 10 * math.Log10(x*x)
+}

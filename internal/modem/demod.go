@@ -1,0 +1,348 @@
+package modem
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"mmx/internal/dsp"
+)
+
+// DemodResult reports everything the receiver learned from one capture.
+type DemodResult struct {
+	// Bits are the decoded frame bits (preamble first), after any
+	// inversion correction.
+	Bits []bool
+	// Offset is the detected start of the frame in samples.
+	Offset int
+	// SyncScore is the normalized preamble-correlation peak (0..1) at
+	// the chosen offset, over the stronger of the envelope and
+	// frequency tracks. Low scores mean no frame was really there.
+	SyncScore float64
+	// Inverted reports that the amplitude mapping arrived flipped
+	// (Fig. 4(b): LoS blocked, so Beam 0 outruns Beam 1) and was
+	// corrected using the preamble.
+	Inverted bool
+	// ASKConfidence ∈ [0,1] is the normalized separation of the two
+	// amplitude levels measured on the preamble.
+	ASKConfidence float64
+	// FSKConfidence ∈ [0,1] is the normalized tone separation measured
+	// on the preamble.
+	FSKConfidence float64
+	// Mode is the decision rule that dominated: "ask", "fsk", or
+	// "joint".
+	Mode string
+}
+
+// Demodulator decodes mmX captures for a fixed Config.
+type Demodulator struct {
+	cfg Config
+	// MinConfidence is the floor below which a modality is considered
+	// unusable on its own.
+	MinConfidence float64
+}
+
+// NewDemodulator returns a receiver for the given numerology.
+func NewDemodulator(cfg Config) *Demodulator {
+	return &Demodulator{cfg: cfg, MinConfidence: 0.1}
+}
+
+// ErrNoSync is returned when the capture is shorter than one frame.
+var ErrNoSync = errors.New("modem: capture too short to contain the frame")
+
+// Demodulate locates a frame of nBits symbols in the capture (searching
+// the whole capture for the strongest preamble correlation) and decodes
+// it with the joint ASK-FSK rule. The capture may begin with dead air.
+func (d *Demodulator) Demodulate(x []complex128, nBits int) (DemodResult, error) {
+	spb := d.cfg.SamplesPerSymbol()
+	frameSamples := nBits * spb
+	if len(x) < frameSamples || nBits < len(Preamble) {
+		return DemodResult{}, ErrNoSync
+	}
+	env := dsp.Envelope(x)
+	sc := d.newSyncContext(x, env)
+	offset, score := 0, sc.scoreAt(0)
+	for k := 1; k <= len(x)-frameSamples; k++ {
+		if s := sc.scoreAt(k); s > score {
+			score = s
+			offset = k
+		}
+	}
+	return d.decodeAt(x, env, nBits, offset, score)
+}
+
+// DemodulateAt decodes a frame of nBits symbols starting exactly at
+// offset (no search) — the fast path for stream scanning where the frame
+// position is already known.
+func (d *Demodulator) DemodulateAt(x []complex128, nBits, offset int) (DemodResult, error) {
+	spb := d.cfg.SamplesPerSymbol()
+	if offset < 0 || len(x)-offset < nBits*spb || nBits < len(Preamble) {
+		return DemodResult{}, ErrNoSync
+	}
+	env := dsp.Envelope(x)
+	sc := d.newSyncContext(x, env)
+	return d.decodeAt(x, env, nBits, offset, sc.scoreAt(offset))
+}
+
+// FirstSync scans forward for the first preamble whose two-track
+// correlation reaches threshold, refining to the local peak. ok is false
+// when no preamble is found.
+func (d *Demodulator) FirstSync(x []complex128, threshold float64) (offset int, score float64, ok bool) {
+	env := dsp.Envelope(x)
+	sc := d.newSyncContext(x, env)
+	limit := len(x) - sc.tmplLen
+	spb := d.cfg.SamplesPerSymbol()
+	for k := 0; k <= limit; k++ {
+		s := sc.scoreAt(k)
+		if s < threshold {
+			continue
+		}
+		// Refine: take the local maximum within the next two symbols.
+		best, bestK := s, k
+		for j := k + 1; j <= k+2*spb && j <= limit; j++ {
+			if sj := sc.scoreAt(j); sj > best {
+				best = sj
+				bestK = j
+			}
+		}
+		return bestK, best, true
+	}
+	return 0, 0, false
+}
+
+// decodeAt runs the joint ASK-FSK decision on a frame at a known offset.
+func (d *Demodulator) decodeAt(x []complex128, env []float64, nBits, offset int, syncScore float64) (DemodResult, error) {
+	spb := d.cfg.SamplesPerSymbol()
+
+	// Per-symbol observables.
+	levels := make([]float64, nBits) // mean envelope
+	p0s := make([]float64, nBits)    // tone-0 power
+	p1s := make([]float64, nBits)    // tone-1 power
+	disc := dsp.NewToneDiscriminator(d.cfg.F0, d.cfg.F1, d.cfg.SampleRate)
+	fskUsable := d.cfg.F1 != d.cfg.F0
+	for s := 0; s < nBits; s++ {
+		start := offset + s*spb
+		block := x[start : start+spb]
+		sum := 0.0
+		for _, e := range env[start : start+spb] {
+			sum += e
+		}
+		levels[s] = sum / float64(spb)
+		if fskUsable {
+			_, p0s[s], p1s[s] = disc.Decide(block)
+		}
+	}
+
+	// Train on the preamble: class means of the amplitude levels.
+	var hi, lo, nHi, nLo float64
+	for s, b := range Preamble {
+		if b {
+			hi += levels[s]
+			nHi++
+		} else {
+			lo += levels[s]
+			nLo++
+		}
+	}
+	hi /= nHi
+	lo /= nLo
+	threshold := (hi + lo) / 2
+	inverted := hi < lo
+	askConf := 0.0
+	if hi+lo > 0 {
+		askConf = math.Abs(hi-lo) / (hi + lo)
+	}
+
+	// FSK confidence: mean tone separation over the preamble, gated by
+	// whether the preamble actually decodes via FSK.
+	fskConf := 0.0
+	if fskUsable {
+		sep, correct := 0.0, 0
+		for s, b := range Preamble {
+			if p0s[s]+p1s[s] > 0 {
+				sep += math.Abs(p1s[s]-p0s[s]) / (p1s[s] + p0s[s])
+			}
+			if (p1s[s] > p0s[s]) == b {
+				correct++
+			}
+		}
+		sep /= float64(len(Preamble))
+		acc := float64(correct) / float64(len(Preamble))
+		if acc > 0.8 {
+			fskConf = sep * (2*acc - 1)
+		}
+	}
+
+	// Joint per-symbol decision: soft ASK and FSK scores weighted by the
+	// squared preamble confidences (§6.3: either modality alone fails in
+	// some channels; together they always decode).
+	wa := askConf * askConf
+	wf := fskConf * fskConf
+	if askConf < d.MinConfidence {
+		wa = 0
+	}
+	if fskConf < d.MinConfidence {
+		wf = 0
+	}
+	if wa == 0 && wf == 0 {
+		// Nothing is reliable; fall back to raw ASK so the caller sees
+		// a (probably failing) best effort rather than nothing.
+		wa = 1
+	}
+	halfGap := math.Abs(hi-lo) / 2
+	bits := make([]bool, nBits)
+	for s := 0; s < nBits; s++ {
+		askSoft := 0.0
+		if halfGap > 0 {
+			askSoft = (levels[s] - threshold) / halfGap
+			if inverted {
+				askSoft = -askSoft
+			}
+			askSoft = clamp(askSoft, -1, 1)
+		}
+		fskSoft := 0.0
+		if p0s[s]+p1s[s] > 0 {
+			fskSoft = (p1s[s] - p0s[s]) / (p1s[s] + p0s[s])
+		}
+		bits[s] = wa*askSoft+wf*fskSoft > 0
+	}
+
+	mode := "joint"
+	switch {
+	case wf == 0:
+		mode = "ask"
+	case wa == 0:
+		mode = "fsk"
+	}
+	return DemodResult{
+		Bits:          bits,
+		Offset:        offset,
+		SyncScore:     syncScore,
+		Inverted:      inverted,
+		ASKConfidence: askConf,
+		FSKConfidence: fskConf,
+		Mode:          mode,
+	}, nil
+}
+
+// Receive demodulates a capture expected to hold a frame with payloadLen
+// payload bytes and parses it, returning the payload.
+func (d *Demodulator) Receive(x []complex128, payloadLen int) ([]byte, DemodResult, error) {
+	res, err := d.Demodulate(x, FrameBits(payloadLen))
+	if err != nil {
+		return nil, res, err
+	}
+	payload, err := ParseFrame(res.Bits)
+	return payload, res, err
+}
+
+// syncContext holds the per-capture state of the two preamble-correlation
+// tracks: the ±1 envelope template (ASK) and the per-sample expected
+// frequency template (FSK), plus the capture's envelope and instantaneous
+// frequency series.
+type syncContext struct {
+	tmplLen  int
+	envT     []float64
+	env      []float64
+	useFreq  bool
+	freqT    []float64
+	instFreq []float64
+}
+
+func (d *Demodulator) newSyncContext(x []complex128, env []float64) *syncContext {
+	spb := d.cfg.SamplesPerSymbol()
+	sc := &syncContext{tmplLen: len(Preamble) * spb, env: env}
+
+	sc.envT = make([]float64, sc.tmplLen)
+	for s, b := range Preamble {
+		v := -1.0
+		if b {
+			v = 1.0
+		}
+		for k := 0; k < spb; k++ {
+			sc.envT[s*spb+k] = v
+		}
+	}
+	zeroMean(sc.envT)
+
+	sc.useFreq = d.cfg.F0 != d.cfg.F1
+	if sc.useFreq {
+		mid := (d.cfg.F0 + d.cfg.F1) / 2
+		sc.freqT = make([]float64, sc.tmplLen)
+		for s, b := range Preamble {
+			f := d.cfg.F0
+			if b {
+				f = d.cfg.F1
+			}
+			for k := 0; k < spb; k++ {
+				sc.freqT[s*spb+k] = f - mid
+			}
+		}
+		sc.instFreq = make([]float64, len(x))
+		for i := 0; i+1 < len(x); i++ {
+			sc.instFreq[i] = cmplx.Phase(x[i+1]*cmplx.Conj(x[i]))*d.cfg.SampleRate/(2*math.Pi) - mid
+		}
+		// The single-lag frequency estimate is noisier than the FSK
+		// step itself at typical SNRs; average over half a symbol so
+		// the correlation sees the tone pattern, not the phase noise.
+		sc.instFreq = dsp.MovingAverage(sc.instFreq, spb/2)
+	}
+	return sc
+}
+
+// scoreAt returns the stronger track's normalized correlation at offset k
+// (0 when the window would run past the capture).
+func (sc *syncContext) scoreAt(k int) float64 {
+	if k < 0 || k+sc.tmplLen > len(sc.env) {
+		return 0
+	}
+	score := math.Abs(ncc(sc.env[k:k+sc.tmplLen], sc.envT))
+	if sc.useFreq {
+		if f := math.Abs(ncc(sc.instFreq[k:k+sc.tmplLen], sc.freqT)); f > score {
+			score = f
+		}
+	}
+	return score
+}
+
+func zeroMean(xs []float64) {
+	mean := 0.0
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for i := range xs {
+		xs[i] -= mean
+	}
+}
+
+// ncc is the normalized cross-correlation of a window with a zero-mean
+// template.
+func ncc(window, tmpl []float64) float64 {
+	var mean float64
+	for _, v := range window {
+		mean += v
+	}
+	mean /= float64(len(window))
+	var dot, ew, et float64
+	for i, tv := range tmpl {
+		wv := window[i] - mean
+		dot += wv * tv
+		ew += wv * wv
+		et += tv * tv
+	}
+	if ew == 0 || et == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(ew*et)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,224 @@
+package simnet
+
+import (
+	"container/heap"
+	"math"
+)
+
+// event is one scheduled simulation action.
+type event struct {
+	at  float64
+	seq int // tie-break so ordering is deterministic
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a minimal deterministic discrete-event engine.
+type Sim struct {
+	now float64
+	seq int
+	q   eventQueue
+}
+
+// NewSim returns an engine at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at an absolute time (clamped to now for past times).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.q, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (s *Sim) After(delay float64, fn func()) { s.At(s.now+delay, fn) }
+
+// RunUntil executes events in time order until the queue drains or the
+// horizon is reached, and leaves the clock at the horizon.
+func (s *Sim) RunUntil(horizon float64) {
+	for s.q.Len() > 0 {
+		e := s.q[0]
+		if e.at > horizon {
+			break
+		}
+		heap.Pop(&s.q)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// NodeStats accumulates one node's traffic outcome over a run.
+type NodeStats struct {
+	ID         uint32
+	FramesSent int
+	// FramesLost counts channel losses (residual bit errors).
+	FramesLost int
+	// FramesDropped counts queue overflows: the node's adapted PHY rate
+	// could not drain the offered load within the backlog bound.
+	FramesDropped  int
+	BitsDelivered  float64
+	MinSINRdB      float64
+	MeanSINRdB     float64
+	sinrSamples    int
+	sinrAccum      float64
+	OutageFraction float64
+	outages        int
+	// AirtimeFraction is the share of the run the node's transmitter
+	// was on the air at its adapted rate.
+	AirtimeFraction float64
+	airtime         float64
+	// MeanDelayS is the average frame latency (queueing + airtime) of
+	// transmitted frames.
+	MeanDelayS float64
+	delayAccum float64
+	delayed    int
+}
+
+// RunStats summarizes a network run.
+type RunStats struct {
+	Duration float64
+	PerNode  []NodeStats
+}
+
+// TotalGoodputBps returns the aggregate delivered rate.
+func (r RunStats) TotalGoodputBps() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, n := range r.PerNode {
+		total += n.BitsDelivered
+	}
+	return total / r.Duration
+}
+
+// Run drives the network for duration seconds: blockers walk (re-evaluated
+// every envStep), each node's traffic model emits frames, and every frame
+// is delivered with probability (1−BER)^bits at the node's instantaneous
+// SINR. SINR below outageSINRdB counts as an outage sample.
+func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
+	sim := NewSim()
+	stats := make([]NodeStats, len(nw.Nodes))
+	index := make(map[uint32]int, len(nw.Nodes))
+	for i, n := range nw.Nodes {
+		stats[i] = NodeStats{ID: n.ID, MinSINRdB: math.Inf(1)}
+		index[n.ID] = i
+	}
+
+	// Cached per-node reports, refreshed on every environment step.
+	reports := nw.EvaluateSINR()
+	observe := func() {
+		for i, r := range reports {
+			st := &stats[i]
+			st.sinrAccum += r.SINRdB
+			st.sinrSamples++
+			if r.SINRdB < st.MinSINRdB {
+				st.MinSINRdB = r.SINRdB
+			}
+			if r.SINRdB < outageSINRdB {
+				st.outages++
+			}
+		}
+	}
+	observe()
+
+	var envTick func()
+	envTick = func() {
+		nw.Env.Step(envStep)
+		reports = nw.EvaluateSINR()
+		observe()
+		sim.After(envStep, envTick)
+	}
+	if envStep > 0 {
+		sim.After(envStep, envTick)
+	}
+
+	// Per-node transmitter occupancy for airtime/queueing accounting.
+	const maxBacklogS = 0.05 // frames older than this are dropped
+	busyUntil := make([]float64, len(nw.Nodes))
+
+	var scheduleFrame func(n *Node)
+	scheduleFrame = func(n *Node) {
+		delay, payload := n.Traffic.Next(nw.rng)
+		sim.After(delay, func() {
+			i := index[n.ID]
+			if payload > 0 {
+				bits := float64(8 * payload)
+				rate := n.RateBps
+				if rate <= 0 {
+					rate = n.Demand
+				}
+				airtime := bits / rate
+				now := sim.Now()
+				if busyUntil[i] < now {
+					busyUntil[i] = now
+				}
+				queue := busyUntil[i] - now
+				stats[i].FramesSent++
+				if queue > maxBacklogS {
+					// The adapted rate cannot drain the offered load.
+					stats[i].FramesDropped++
+				} else {
+					busyUntil[i] += airtime
+					stats[i].airtime += airtime
+					stats[i].delayAccum += queue + airtime
+					stats[i].delayed++
+					ber := reports[i].BER
+					pSuccess := math.Pow(1-ber, bits)
+					if nw.rng.Float64() < pSuccess {
+						stats[i].BitsDelivered += bits
+					} else {
+						stats[i].FramesLost++
+					}
+				}
+			}
+			scheduleFrame(n)
+		})
+	}
+	for _, n := range nw.Nodes {
+		scheduleFrame(n)
+	}
+
+	sim.RunUntil(duration)
+
+	for i := range stats {
+		if stats[i].sinrSamples > 0 {
+			stats[i].MeanSINRdB = stats[i].sinrAccum / float64(stats[i].sinrSamples)
+			stats[i].OutageFraction = float64(stats[i].outages) / float64(stats[i].sinrSamples)
+		}
+		if duration > 0 {
+			stats[i].AirtimeFraction = stats[i].airtime / duration
+		}
+		if stats[i].delayed > 0 {
+			stats[i].MeanDelayS = stats[i].delayAccum / float64(stats[i].delayed)
+		}
+	}
+	return RunStats{Duration: duration, PerNode: stats}
+}

@@ -1,0 +1,322 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mmx/internal/antenna"
+	"mmx/internal/channel"
+	"mmx/internal/core"
+	"mmx/internal/mac"
+	"mmx/internal/stats"
+	"mmx/internal/tma"
+	"mmx/internal/units"
+)
+
+// Node is one IoT device attached to the network.
+type Node struct {
+	ID      uint32
+	Pose    channel.Pose
+	Demand  float64
+	Traffic TrafficModel
+	// Assignment is the node's FDM channel; for SDM-sharing nodes it
+	// mirrors the shared channel.
+	Assignment mac.Assignment
+	// SDMHarmonic is the TMA harmonic the node's angle-of-arrival maps
+	// onto (the AP learns it during initialization). It is what
+	// separates co-channel nodes.
+	SDMHarmonic int
+	// SDMShared reports the node shares its channel spatially rather
+	// than owning it via FDM.
+	SDMShared bool
+	// RateBps is the node's adapted PHY rate: the fastest ladder step
+	// its SNR sustains at BER ≤ 1e-6, capped by what its channel width
+	// carries. Frames occupy airtime at this rate.
+	RateBps float64
+	// Link is the node's OTAM link to the AP.
+	Link *core.Link
+}
+
+// Network is the full mmX deployment.
+type Network struct {
+	Env        *channel.Environment
+	AP         channel.Pose
+	APPattern  antenna.Pattern
+	Controller *mac.Controller
+	// SDM is the AP's time-modulated array used when FDM runs out.
+	SDM   *tma.Array
+	Nodes []*Node
+	// LinkCfg is the shared link budget template.
+	LinkCfg core.LinkConfig
+	// NodeBeams is the beam pair installed on every joining node
+	// (defaults to the standard two-element orthogonal pair; a 60 GHz
+	// deployment can use antenna.NewNarrowNodeBeams since the shorter
+	// wavelength fits more elements in the same aperture).
+	NodeBeams antenna.NodeBeams
+	// ACLRAdjacentDB and ACLRFarDB set adjacent-channel leakage for FDM
+	// neighbours (power ratio below the carrier).
+	ACLRAdjacentDB, ACLRFarDB float64
+	rng                       *stats.RNG
+}
+
+// New builds a network in an environment with the AP at apPose, operating
+// in the 24 GHz ISM band.
+func New(env *channel.Environment, apPose channel.Pose, seed uint64) *Network {
+	return NewWithBand(env, apPose, seed, mac.ISM24GHz())
+}
+
+// NewWithBand builds a network over an arbitrary spectrum band (e.g.
+// mac.Unlicensed60GHz for the 7 GHz band §7a points to). The environment's
+// carrier frequency should sit inside the band.
+func NewWithBand(env *channel.Environment, apPose channel.Pose, seed uint64, band mac.Band) *Network {
+	return &Network{
+		Env:            env,
+		AP:             apPose,
+		APPattern:      antenna.NewAPAntenna(),
+		Controller:     mac.NewController(band),
+		SDM:            tma.NewSDMArray(16, 1e6),
+		LinkCfg:        core.DefaultLinkConfig(),
+		NodeBeams:      antenna.NewNodeBeams(),
+		ACLRAdjacentDB: 40,
+		ACLRFarDB:      60,
+		rng:            stats.NewRNG(seed),
+	}
+}
+
+// ErrJoinFailed reports a node the AP could not admit.
+var ErrJoinFailed = errors.New("simnet: join failed")
+
+// Join runs the initialization protocol for one node (the WiFi/Bluetooth
+// handshake of §7a) and installs it into the network.
+func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic TrafficModel) (*Node, error) {
+	raw, err := mac.Marshal(mac.JoinRequest{NodeID: id, DemandBps: demandBps})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := nw.Controller.Handle(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrJoinFailed, err)
+	}
+	msg, err := mac.Unmarshal(reply)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{ID: id, Pose: pose, Demand: demandBps, Traffic: traffic}
+	// The TMA hashes each node's angle-of-arrival into a harmonic slot;
+	// the AP learns the slot when the node joins.
+	n.SDMHarmonic = nw.SDM.BestHarmonic(nw.AP.AngleTo(pose.Pos))
+	switch m := msg.(type) {
+	case mac.AssignmentMsg:
+		n.Assignment = mac.Assignment{
+			NodeID: id, CenterHz: m.CenterHz, WidthHz: m.WidthHz, FSKOffsetHz: m.FSKOffsetHz,
+		}
+	case mac.RejectMsg:
+		n.SDMShared = true
+		n.Assignment = mac.Assignment{
+			NodeID: id, CenterHz: m.ShareHz,
+			WidthHz:     mac.BandwidthForRate(demandBps),
+			FSKOffsetHz: mac.BandwidthForRate(demandBps) * 0.05,
+		}
+		// The reject carries a nominal host channel, but the AP knows
+		// every occupant's harmonic slot: place the newcomer on the
+		// channel whose occupants are farthest from its slot so the
+		// TMA can actually separate them.
+		if c, ok := nw.bestHostChannel(n.SDMHarmonic, nw.AP.AngleTo(pose.Pos)); ok {
+			n.Assignment.CenterHz = c
+		}
+	default:
+		return nil, ErrJoinFailed
+	}
+	n.Link = core.NewLink(nw.Env, pose, nw.AP)
+	n.Link.Beams = nw.NodeBeams
+	cfg := nw.LinkCfg
+	cfg.BandwidthHz = n.Assignment.WidthHz
+	cfg.Modem.F0 = -n.Assignment.FSKOffsetHz / 2
+	cfg.Modem.F1 = +n.Assignment.FSKOffsetHz / 2
+	n.Link.Cfg = cfg
+	// Adapt the PHY rate to the link (switch-speed scaling, §5.1),
+	// bounded by what the allocated channel width can carry.
+	n.RateBps = n.Link.AdaptRate(1e-6)
+	if cap := n.Assignment.WidthHz / 1.25; n.RateBps > cap {
+		n.RateBps = cap
+	}
+	if n.RateBps <= 0 {
+		n.RateBps = demandBps // hopeless link: frames will die to BER anyway
+	}
+	nw.Nodes = append(nw.Nodes, n)
+	return n, nil
+}
+
+// pairSuppressionDB returns the worse-direction TMA suppression between
+// two co-channel transmitters: how far each one's energy sits below the
+// other's slot, given their harmonics and angles of arrival.
+func (nw *Network) pairSuppressionDB(mi int, thI float64, mj int, thJ float64) float64 {
+	into := func(mVictim int, mOwn int, th float64) float64 {
+		own := cmplx.Abs(nw.SDM.HarmonicGain(mOwn, th))
+		leak := cmplx.Abs(nw.SDM.HarmonicGain(mVictim, th))
+		if own <= 0 {
+			return 0
+		}
+		if leak <= 0 {
+			return 150
+		}
+		s := 20 * math.Log10(own/leak)
+		if s < 0 {
+			s = 0
+		}
+		if s > 150 {
+			s = 150
+		}
+		return s
+	}
+	a := into(mi, mj, thJ) // j leaking into i's slot
+	b := into(mj, mi, thI) // i leaking into j's slot
+	return math.Min(a, b)
+}
+
+// bestHostChannel picks the existing channel whose occupants the TMA can
+// best separate from a newcomer at harmonic h and angle th — maximizing
+// the worst-case pairwise suppression. ok is false when there are no
+// channels yet.
+func (nw *Network) bestHostChannel(h int, th float64) (float64, bool) {
+	type chanInfo struct {
+		worstSupp float64
+		occupants int
+	}
+	byCenter := map[float64]*chanInfo{}
+	for _, n := range nw.Nodes {
+		ci := byCenter[n.Assignment.CenterHz]
+		if ci == nil {
+			ci = &chanInfo{worstSupp: math.Inf(1)}
+			byCenter[n.Assignment.CenterHz] = ci
+		}
+		s := nw.pairSuppressionDB(h, th, n.SDMHarmonic, nw.AP.AngleTo(n.Pose.Pos))
+		if s < ci.worstSupp {
+			ci.worstSupp = s
+		}
+		ci.occupants++
+	}
+	bestCenter, found := 0.0, false
+	var best chanInfo
+	for c, ci := range byCenter {
+		better := !found ||
+			ci.worstSupp > best.worstSupp ||
+			(ci.worstSupp == best.worstSupp && ci.occupants < best.occupants) ||
+			(ci.worstSupp == best.worstSupp && ci.occupants == best.occupants && c < bestCenter)
+		if better {
+			bestCenter, best, found = c, *ci, true
+		}
+	}
+	return bestCenter, found
+}
+
+// Leave removes a node and releases its spectrum.
+func (nw *Network) Leave(id uint32) {
+	raw, _ := mac.Marshal(mac.ReleaseMsg{NodeID: id})
+	nw.Controller.Handle(raw) //nolint:errcheck // release has no reply
+	for i, n := range nw.Nodes {
+		if n.ID == id {
+			nw.Nodes = append(nw.Nodes[:i], nw.Nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Report is one node's instantaneous link quality within the network.
+type Report struct {
+	ID uint32
+	// SNRdB is the node's isolated OTAM link SNR (no interference).
+	SNRdB float64
+	// SINRdB folds in interference from every other node.
+	SINRdB float64
+	// BER is the joint ASK-FSK error rate at the SINR.
+	BER float64
+	// PathClass is "los", "nlos", or "blocked".
+	PathClass string
+	// SDM reports that this node shares spectrum via the TMA.
+	SDM bool
+}
+
+// couplingDB returns how many dB below its carrier node j's power lands in
+// node i's receiver: frequency separation for FDM, TMA harmonic leakage
+// for co-channel SDM pairs.
+func (nw *Network) couplingDB(i, j *Node) float64 {
+	sep := math.Abs(i.Assignment.CenterHz - j.Assignment.CenterHz)
+	halfWidths := (i.Assignment.WidthHz + j.Assignment.WidthHz) / 2
+	if sep >= halfWidths {
+		// Disjoint channels: adjacent or far leakage.
+		if sep < 2*halfWidths {
+			return nw.ACLRAdjacentDB
+		}
+		return nw.ACLRFarDB
+	}
+	// Co-channel: separated spatially by the TMA. Leakage is j's energy
+	// appearing at i's harmonic relative to j's own harmonic.
+	thJ := nw.AP.AngleTo(j.Pose.Pos)
+	own := cmplx.Abs(nw.SDM.HarmonicGain(j.SDMHarmonic, thJ))
+	leak := cmplx.Abs(nw.SDM.HarmonicGain(i.SDMHarmonic, thJ))
+	if own <= 0 {
+		return 0
+	}
+	if leak <= 0 {
+		return 150
+	}
+	supp := 20 * math.Log10(own/leak)
+	if supp < 0 {
+		supp = 0
+	}
+	if supp > 150 {
+		supp = 150
+	}
+	return supp
+}
+
+// EvaluateSINR computes every node's current SNR and SINR.
+func (nw *Network) EvaluateSINR() []Report {
+	n := len(nw.Nodes)
+	evals := make([]core.Evaluation, n)
+	powers := make([]float64, n) // peak received power, watts
+	for i, node := range nw.Nodes {
+		evals[i] = node.Link.Evaluate()
+		g := math.Max(cmplx.Abs(evals[i].G0), cmplx.Abs(evals[i].G1))
+		powers[i] = g * g
+	}
+	out := make([]Report, n)
+	for i, node := range nw.Nodes {
+		noise := evals[i].NoisePowerW
+		interf := 0.0
+		for j, other := range nw.Nodes {
+			if i == j {
+				continue
+			}
+			interf += powers[j] * units.FromDB(-nw.couplingDB(node, other))
+		}
+		sinr := units.DB(powers[i] / (noise + interf))
+		ev := evals[i]
+		ev.SNRWithOTAM = sinr
+		out[i] = Report{
+			ID:        node.ID,
+			SNRdB:     units.DB(powers[i] / noise),
+			SINRdB:    sinr,
+			BER:       ev.BERWithOTAM(),
+			PathClass: nw.Env.BestPathClass(node.Pose.Pos, nw.AP.Pos),
+			SDM:       node.SDMShared,
+		}
+	}
+	return out
+}
+
+// MeanSINRdB averages the current per-node SINR — the y-axis of Fig. 13.
+func (nw *Network) MeanSINRdB() float64 {
+	reports := nw.EvaluateSINR()
+	if len(reports) == 0 {
+		return math.Inf(-1)
+	}
+	s := 0.0
+	for _, r := range reports {
+		s += r.SINRdB
+	}
+	return s / float64(len(reports))
+}

@@ -1,0 +1,379 @@
+package mmx
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mmx/internal/fec"
+	"mmx/internal/modem"
+)
+
+func TestFacing(t *testing.T) {
+	p := Facing(0, 0, 0, 5)
+	if math.Abs(p.FacingRad-math.Pi/2) > 1e-12 {
+		t.Errorf("FacingRad = %g", p.FacingRad)
+	}
+}
+
+func TestLinkQualityAndRoundtrip(t *testing.T) {
+	env := NewEnvironment(10, 6, 1)
+	ap := Pose{X: 8, Y: 3, FacingRad: math.Pi}
+	link := env.NewLink(Facing(1, 3, 8, 3), ap)
+
+	q := link.Quality()
+	if q.SNRdB < 15 {
+		t.Errorf("SNR = %.1f dB", q.SNRdB)
+	}
+	if q.BER > 1e-8 {
+		t.Errorf("BER = %g", q.BER)
+	}
+	if q.Inverted {
+		t.Error("facing link should not be inverted")
+	}
+
+	payload := []byte("hello from the public API")
+	capture, err := link.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := link.Receive(capture, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Errorf("payload = %q", res.Payload)
+	}
+}
+
+func TestLinkSurvivesRotationFixedBeamDoesNot(t *testing.T) {
+	env := NewEnvironment(10, 6, 2)
+	ap := Pose{X: 6, Y: 3, FacingRad: math.Pi}
+	node := Facing(1, 3, 6, 3)
+	node.FacingRad += 30 * math.Pi / 180 // AP lands in Beam 1's null
+	link := env.NewLink(node, ap)
+
+	q := link.Quality()
+	if q.SNRdB-q.FixedBeamSNRdB < 10 {
+		t.Errorf("OTAM gain = %.1f dB at the null, want >10",
+			q.SNRdB-q.FixedBeamSNRdB)
+	}
+	if !q.Inverted {
+		t.Error("Beam 0 should dominate at this orientation")
+	}
+	if otam := link.MeasureBER(5, true); otam > 1e-3 {
+		t.Errorf("OTAM measured BER = %g", otam)
+	}
+	if fixed := link.MeasureBER(5, false); fixed < 0.05 {
+		t.Errorf("fixed-beam measured BER = %g, should collapse", fixed)
+	}
+}
+
+func TestLinkBlockerAndStep(t *testing.T) {
+	env := NewEnvironment(10, 6, 3)
+	ap := Pose{X: 6, Y: 3, FacingRad: math.Pi}
+	link := env.NewLink(Facing(1, 3, 6, 3), ap)
+	before := link.Quality().SNRdB
+	env.AddBlocker(3.5, 3, 0, 0)
+	after := link.Quality().SNRdB
+	if after >= before {
+		t.Error("blocker should cost SNR")
+	}
+	if after < 8 {
+		t.Errorf("blocked SNR = %.1f dB, should stay usable", after)
+	}
+	// SetNodePose moves the node away from the shadow.
+	link.SetNodePose(Facing(1, 1, 6, 3))
+	if moved := link.Quality().SNRdB; moved <= after {
+		t.Error("moving out of the shadow should help")
+	}
+	env.Step(0.5) // static blocker: no panic, no movement
+}
+
+func TestSendFixedBeamDecodes(t *testing.T) {
+	env := NewEnvironment(10, 6, 4)
+	link := env.NewLink(Facing(1, 3, 6, 3), Pose{X: 6, Y: 3, FacingRad: math.Pi})
+	payload := []byte("baseline")
+	capture, err := link.SendFixedBeam(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := link.Receive(capture, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Errorf("payload = %q", res.Payload)
+	}
+}
+
+func TestNetworkLifecycle(t *testing.T) {
+	env := NewLabEnvironment(5)
+	nw := env.NewNetwork(Pose{X: 0.3, Y: 2, FacingRad: 0}, 99)
+	// Three cameras and a telemetry sensor.
+	for i, pos := range []Pose{
+		Facing(3, 1, 0.3, 2), Facing(5, 3, 0.3, 2), Facing(4, 2, 0.3, 2),
+	} {
+		info, err := nw.Join(uint32(i+1), pos, 10e6, CameraTraffic(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.WidthHz != 12.5e6 {
+			t.Errorf("camera channel width = %g", info.WidthHz)
+		}
+		if info.SharedViaSDM {
+			t.Error("plenty of spectrum: should be FDM")
+		}
+	}
+	if _, err := nw.Join(4, Facing(2, 3, 0.3, 2), 1e3, TelemetryTraffic(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	reports := nw.Reports()
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.SINRdB < 10 {
+			t.Errorf("node %d SINR = %.1f", r.ID, r.SINRdB)
+		}
+	}
+	if nw.MeanSINRdB() < 15 {
+		t.Errorf("mean SINR = %.1f", nw.MeanSINRdB())
+	}
+
+	stats := nw.Run(1.0, 0.1, 10)
+	var goodput float64
+	for _, st := range stats.PerNode {
+		goodput += st.BitsDelivered
+	}
+	if goodput < 10e6 {
+		t.Errorf("delivered only %.0f bits in 1 s", goodput)
+	}
+
+	nw.Leave(1)
+	if len(nw.Reports()) != 3 {
+		t.Error("Leave did not remove the node")
+	}
+}
+
+func TestNetworkSDMOverflow(t *testing.T) {
+	env := NewLabEnvironment(6)
+	nw := env.NewNetwork(Pose{X: 0.3, Y: 2, FacingRad: 0}, 7)
+	sdm := 0
+	for i := 1; i <= 4; i++ {
+		info, err := nw.Join(uint32(i), Facing(1+float64(i), 0.5+0.8*float64(i), 0.3, 2), 100e6, CameraTraffic(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.SharedViaSDM {
+			sdm++
+		}
+	}
+	if sdm != 2 {
+		t.Errorf("SDM nodes = %d, want 2 (two 125 MHz channels fit in 250 MHz)", sdm)
+	}
+}
+
+func TestJoinBadDemand(t *testing.T) {
+	env := NewLabEnvironment(7)
+	nw := env.NewNetwork(Pose{X: 0.3, Y: 2}, 1)
+	if _, err := nw.Join(1, Facing(3, 2, 0.3, 2), 0, CameraTraffic(8)); err == nil {
+		t.Error("zero demand must fail")
+	}
+}
+
+func TestCodedRoundtrip(t *testing.T) {
+	env := NewEnvironment(10, 6, 8)
+	link := env.NewLink(Facing(1, 3, 6, 3), Pose{X: 6, Y: 3, FacingRad: math.Pi})
+	payload := []byte("forward error corrected frame")
+	capture, err := link.SendCoded(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, corrections, err := link.ReceiveCoded(capture, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Errorf("payload = %q", res.Payload)
+	}
+	if corrections < 0 {
+		t.Error("corrections negative")
+	}
+	// The coded capture is ~7/4 the airtime of the uncoded one.
+	plain, err := link.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capture) < len(plain) {
+		t.Error("coded frame should be longer on the air")
+	}
+}
+
+func TestCodedReceiveBadCapture(t *testing.T) {
+	env := NewEnvironment(10, 6, 9)
+	link := env.NewLink(Facing(1, 3, 6, 3), Pose{X: 6, Y: 3, FacingRad: math.Pi})
+	if _, _, err := link.ReceiveCoded(make([]complex128, 10), 16); err == nil {
+		t.Error("tiny capture should fail")
+	}
+}
+
+func TestAdaptRateFacade(t *testing.T) {
+	env := NewEnvironment(10, 6, 10)
+	link := env.NewLink(Facing(1, 3, 6, 3), Pose{X: 6, Y: 3, FacingRad: math.Pi})
+	if got := link.AdaptRate(1e-6); got != 100e6 {
+		t.Errorf("near rate = %g", got)
+	}
+	if got := link.AchievableRate(1e-6); got != 100e6 {
+		t.Errorf("achievable = %g", got)
+	}
+}
+
+func TestReceiveStreamFacade(t *testing.T) {
+	env := NewEnvironment(10, 6, 11)
+	link := env.NewLink(Facing(1, 3, 6, 3), Pose{X: 6, Y: 3, FacingRad: math.Pi})
+	payloads := [][]byte{[]byte("stream-1"), []byte("stream-2"), []byte("stream-3")}
+	var capture []complex128
+	for _, p := range payloads {
+		x, err := link.Send(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capture = append(capture, x...)
+	}
+	frames := link.ReceiveStream(capture, 8)
+	if len(frames) != 3 {
+		t.Fatalf("recovered %d frames, want 3", len(frames))
+	}
+	for i, f := range frames {
+		if !bytes.Equal(f.Payload, payloads[i]) {
+			t.Errorf("frame %d = %q", i, f.Payload)
+		}
+	}
+}
+
+func TestAddWallMaterials(t *testing.T) {
+	// A concrete wall severs the link; drywall only dents it.
+	base := func(m WallMaterial) float64 {
+		env := NewEnvironment(8, 4, 12)
+		link := env.NewLink(Facing(1, 2, 7, 2), Pose{X: 7, Y: 2, FacingRad: math.Pi})
+		before := link.Quality().SNRdB
+		env.AddWall(4, 0, 4, 4, m)
+		return before - link.Quality().SNRdB
+	}
+	drywall := base(Drywall)
+	glass := base(Glass)
+	concrete := base(Concrete)
+	if concrete < 25 {
+		t.Errorf("concrete cost %.1f dB, want severing", concrete)
+	}
+	if drywall < 3 || drywall > 15 {
+		t.Errorf("drywall cost %.1f dB, want moderate", drywall)
+	}
+	if glass >= drywall {
+		t.Errorf("glass (%.1f dB) should pass more than drywall (%.1f dB)", glass, drywall)
+	}
+}
+
+func TestPoseHeight(t *testing.T) {
+	env := NewEnvironment(10, 6, 13)
+	ap := Pose{X: 6, Y: 3, FacingRad: math.Pi, Height: 2.0} // ceiling hub
+	flat := env.NewLink(Facing(1, 3, 6, 3), ap).Quality().SNRdB
+	node := Facing(1, 3, 6, 3)
+	node.Height = 2.0 // same ceiling rail
+	same := env.NewLink(node, ap).Quality().SNRdB
+	if same <= flat {
+		t.Errorf("matching heights (%.1f dB) should beat a 2 m offset (%.1f dB)", same, flat)
+	}
+}
+
+func TestVideoTrafficInNetwork(t *testing.T) {
+	env := NewLabEnvironment(14)
+	nw := env.NewNetwork(Pose{X: 0.3, Y: 2, FacingRad: 0}, 15)
+	// VBR needs headroom: demand 12 Mbps for an 8 Mbps-mean stream whose
+	// I-frames burst well above the mean.
+	if _, err := nw.Join(1, Facing(3, 2, 0.3, 2), 12e6, VideoTraffic(8)); err != nil {
+		t.Fatal(err)
+	}
+	stats := nw.Run(2, 0.1, 10)
+	st := stats.PerNode[0]
+	if st.FramesSent < 50 {
+		t.Errorf("sent %d frames, want ~60 (30 fps x 2 s)", st.FramesSent)
+	}
+	// Mean delivered rate ≈ 8 Mbps.
+	rate := st.BitsDelivered / stats.Duration
+	if rate < 6e6 || rate > 10e6 {
+		t.Errorf("VBR delivered %.1f Mbps, want ≈8", rate/1e6)
+	}
+	if st.AirtimeFraction <= 0 || st.AirtimeFraction >= 1 {
+		t.Errorf("airtime = %.2f", st.AirtimeFraction)
+	}
+}
+
+func TestEnvironmentDeterminism(t *testing.T) {
+	// Identical seeds give bit-identical link behaviour, including the
+	// noisy waveform path.
+	run := func() ([]complex128, float64) {
+		env := NewEnvironment(10, 6, 77)
+		link := env.NewLink(Facing(1, 3, 6, 3), Pose{X: 6, Y: 3, FacingRad: math.Pi})
+		x, err := link.Send([]byte("determinism"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x, link.Quality().SNRdB
+	}
+	x1, s1 := run()
+	x2, s2 := run()
+	if s1 != s2 {
+		t.Errorf("SNR diverged: %v vs %v", s1, s2)
+	}
+	if len(x1) != len(x2) {
+		t.Fatal("capture lengths diverged")
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("capture diverged at sample %d", i)
+		}
+	}
+}
+
+func TestReceiveCodedCRCFallback(t *testing.T) {
+	// Corrupt a few payload bits after the CRC was computed: the frame
+	// check fails, but the Hamming layer underneath repairs the bits and
+	// ReceiveCoded's fallback path recovers the payload anyway.
+	env := NewEnvironment(10, 6, 16)
+	link := env.NewLink(Facing(1, 3, 6, 3), Pose{X: 6, Y: 3, FacingRad: math.Pi})
+	payload := []byte("crc fails, code repairs")
+	coded := fec.NewCodec().Encode(payload)
+	bits, err := modem.BuildFrame(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip three well-separated coded-payload bits (past preamble+length).
+	for _, off := range []int{40, 160, 290} {
+		i := len(modem.Preamble) + 16 + off
+		bits[i] = !bits[i]
+	}
+	ev := link.l.Evaluate()
+	x := modem.Synthesize(link.l.Cfg.Modem, bits, ev.G0, ev.G1)
+	res, corrections, err := link.ReceiveCoded(x, len(payload))
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if corrections < 3 {
+		t.Errorf("corrections = %d, want ≥3", corrections)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Errorf("payload = %q", res.Payload)
+	}
+}
+
+func TestReceiveCodedUnrecoverable(t *testing.T) {
+	// A capture that cannot even sync propagates the original error.
+	env := NewEnvironment(10, 6, 17)
+	link := env.NewLink(Facing(1, 3, 6, 3), Pose{X: 6, Y: 3, FacingRad: math.Pi})
+	junk := make([]complex128, 60000) // long enough, but silence
+	if _, _, err := link.ReceiveCoded(junk, 8); err == nil {
+		t.Error("silent capture should fail")
+	}
+}

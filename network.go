@@ -1,0 +1,109 @@
+package mmx
+
+import (
+	"mmx/internal/simnet"
+)
+
+// Network is a complete mmX deployment: one access point serving many IoT
+// nodes over the 24 GHz ISM band, with FDM channel allocation sized to
+// each node's demand and TMA-based spatial reuse when the band fills up.
+type Network struct {
+	nw  *simnet.Network
+	env *Environment
+}
+
+// NewNetwork creates a network in the environment with the AP at apPose.
+func (e *Environment) NewNetwork(ap Pose, seed uint64) *Network {
+	return &Network{nw: simnet.New(e.env, ap.internal(), seed), env: e}
+}
+
+// Traffic describes a node's offered load.
+type Traffic = simnet.TrafficModel
+
+// CameraTraffic returns the paper's canonical workload: an HD video
+// stream at the given application megabits per second (§1 footnote:
+// "HD video streaming requires 8-10 Mbps").
+func CameraTraffic(mbps float64) Traffic { return simnet.HDCamera(mbps) }
+
+// TelemetryTraffic returns low-rate bursty sensor traffic with the given
+// mean interval between reports.
+func TelemetryTraffic(meanIntervalS float64) Traffic { return simnet.Telemetry(meanIntervalS) }
+
+// NodeInfo describes an admitted node's spectrum situation.
+type NodeInfo struct {
+	ID uint32
+	// ChannelHz and WidthHz locate the node's FDM channel.
+	ChannelHz, WidthHz float64
+	// SharedViaSDM reports that the node shares its channel spatially
+	// (the TMA separates it from the channel's other occupants by
+	// angle).
+	SharedViaSDM bool
+}
+
+// Join admits a node: the initialization handshake (§4) runs over the
+// simulated control channel, spectrum is allocated (FDM first, SDM
+// fallback), and the node's OTAM link is configured on its assignment.
+func (n *Network) Join(id uint32, pose Pose, demandBps float64, traffic Traffic) (NodeInfo, error) {
+	node, err := n.nw.Join(id, pose.internal(), demandBps, traffic)
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	return NodeInfo{
+		ID:           node.ID,
+		ChannelHz:    node.Assignment.CenterHz,
+		WidthHz:      node.Assignment.WidthHz,
+		SharedViaSDM: node.SDMShared,
+	}, nil
+}
+
+// Leave removes a node and returns its spectrum to the pool.
+func (n *Network) Leave(id uint32) { n.nw.Leave(id) }
+
+// NodeReport is one node's current link quality inside the network,
+// including interference from every other node.
+type NodeReport struct {
+	ID uint32
+	// SNRdB ignores interference; SINRdB includes it.
+	SNRdB, SINRdB float64
+	// BER is the joint ASK-FSK error rate at the SINR.
+	BER float64
+	// PathClass is "los", "nlos" or "blocked".
+	PathClass string
+	// SharedViaSDM mirrors the node's spectrum situation.
+	SharedViaSDM bool
+}
+
+// Reports evaluates every node's instantaneous SINR.
+func (n *Network) Reports() []NodeReport {
+	raw := n.nw.EvaluateSINR()
+	out := make([]NodeReport, len(raw))
+	for i, r := range raw {
+		out[i] = NodeReport{
+			ID: r.ID, SNRdB: r.SNRdB, SINRdB: r.SINRdB, BER: r.BER,
+			PathClass: r.PathClass, SharedViaSDM: r.SDM,
+		}
+	}
+	return out
+}
+
+// MeanSINRdB averages the current per-node SINR (Fig. 13's metric).
+func (n *Network) MeanSINRdB() float64 { return n.nw.MeanSINRdB() }
+
+// NodeStats mirrors simnet's per-node traffic outcome.
+type NodeStats = simnet.NodeStats
+
+// RunStats mirrors simnet's run summary.
+type RunStats = simnet.RunStats
+
+// Run drives the deployment for the given duration (seconds): blockers
+// walk, every node's traffic model emits frames, and frames succeed with
+// probability (1−BER)^bits at the node's instantaneous SINR. envStep sets
+// how often the environment (and the SINR snapshot) refreshes;
+// outageSINRdB defines the outage threshold recorded in the stats.
+func (n *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
+	return n.nw.Run(duration, envStep, outageSINRdB)
+}
+
+// VideoTraffic returns a VBR camera workload: 30 fps GOP-structured
+// frames (large I-frames, small P-frames) averaging the given Mbps.
+func VideoTraffic(mbps float64) Traffic { return simnet.NewVBRCamera(mbps) }
