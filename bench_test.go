@@ -7,6 +7,7 @@ package mmx
 // rows/series.
 
 import (
+	"fmt"
 	"testing"
 
 	"mmx/internal/experiments"
@@ -161,19 +162,33 @@ func BenchmarkOTAMFrameRoundtrip(b *testing.B) {
 	}
 }
 
+// BenchmarkNetworkSINREvaluation measures the steady-state network
+// evaluation hot path (what Run pays every envStep) at growing scale: 20
+// nodes (all FDM), and 100/500 nodes (dense SDM sharing). The coupling
+// matrix is cache-served and the per-node link evaluations fan out across
+// the worker pool; the serial variant pins the single-core cost.
 func BenchmarkNetworkSINREvaluation(b *testing.B) {
-	env := NewLabEnvironment(2)
-	nw := env.NewNetwork(Pose{X: 0.3, Y: 2}, 3)
-	for i := 1; i <= 20; i++ {
-		x := 1 + float64(i%5)
-		y := 0.5 + float64(i%4)*0.8
-		if _, err := nw.Join(uint32(i), Facing(x, y, 0.3, 2), 10e6, CameraTraffic(8)); err != nil {
-			b.Fatal(err)
+	bench := func(size, workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			env := NewLabEnvironment(2)
+			nw := env.NewNetwork(Pose{X: 0.3, Y: 2}, 3)
+			nw.SetWorkers(workers)
+			for i := 1; i <= size; i++ {
+				x := 1 + float64(i%5)
+				y := 0.5 + float64(i%4)*0.8
+				if _, err := nw.Join(uint32(i), Facing(x, y, 0.3, 2), 10e6, CameraTraffic(8)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.Reports()
+			}
 		}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		nw.Reports()
+	for _, size := range []int{20, 100, 500} {
+		b.Run(fmt.Sprintf("nodes=%d", size), bench(size, 0))
+		b.Run(fmt.Sprintf("nodes=%d/serial", size), bench(size, 1))
 	}
 }
 

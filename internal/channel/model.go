@@ -93,11 +93,31 @@ func (e *Environment) BeamGains(nodePose Pose, beams antenna.NodeBeams, apPose P
 	return h0, h1
 }
 
+// BeamGainsWithClass evaluates both OTAM beams and classifies the
+// propagation regime from a single path enumeration. The gains are
+// bit-identical to BeamGains (same paths in the same order, same
+// per-path arithmetic) and the class matches BestPathClass; sharing the
+// enumeration matters because ray tracing dominates a link evaluation,
+// and the separate entry points each pay for it again.
+func (e *Environment) BeamGainsWithClass(nodePose Pose, beams antenna.NodeBeams, apPose Pose, apPat antenna.Pattern) (h0, h1 complex128, class string) {
+	paths := e.Paths(nodePose.Pos, apPose.Pos)
+	for _, p := range paths {
+		h0 += e.PathGain(p, nodePose, beams.Beam0, apPose, apPat)
+	}
+	for _, p := range paths {
+		h1 += e.PathGain(p, nodePose, beams.Beam1, apPose, apPat)
+	}
+	return h0, h1, pathClass(paths)
+}
+
 // BestPathClass summarizes the dominant propagation regime between two
 // points, ignoring antennas: "los", "nlos" (LoS blocked but a reflection
 // survives), or "blocked" (everything crosses a blocker).
 func (e *Environment) BestPathClass(tx, rx Vec2) string {
-	paths := e.Paths(tx, rx)
+	return pathClass(e.Paths(tx, rx))
+}
+
+func pathClass(paths []Path) string {
 	if len(paths) == 0 {
 		return "blocked"
 	}

@@ -121,6 +121,10 @@ type Evaluation struct {
 	// Inverted reports that Beam 0 arrives stronger than Beam 1
 	// (blocked-LoS regime of Fig. 4(b)).
 	Inverted bool
+	// PathClass is "los", "nlos" or "blocked" — populated only by
+	// EvaluateWithClass, which derives it from the same path enumeration
+	// as the gains.
+	PathClass string
 }
 
 // implAmp converts the implementation margin to an amplitude factor.
@@ -131,6 +135,22 @@ func (c LinkConfig) implAmp() float64 {
 // Evaluate computes the instantaneous link budget.
 func (l *Link) Evaluate() Evaluation {
 	h0, h1 := l.Env.BeamGains(l.Node, l.Beams, l.AP, l.APPattern)
+	return l.evaluateGains(h0, h1)
+}
+
+// EvaluateWithClass is Evaluate plus the propagation path class, computed
+// from a single path enumeration instead of the three that separate
+// Evaluate + BestPathClass calls would pay. The gains (and everything
+// derived from them) are bit-identical to Evaluate's. This is the network
+// engine's per-node hot path.
+func (l *Link) EvaluateWithClass() Evaluation {
+	h0, h1, class := l.Env.BeamGainsWithClass(l.Node, l.Beams, l.AP, l.APPattern)
+	ev := l.evaluateGains(h0, h1)
+	ev.PathClass = class
+	return ev
+}
+
+func (l *Link) evaluateGains(h0, h1 complex128) Evaluation {
 	amp := math.Sqrt(units.FromDBm(l.Cfg.TxPowerDBm)) * l.Cfg.implAmp()
 	sel := complex(l.Switch.SelectedGain(), 0)
 	leak := complex(l.Switch.LeakageGain(), 0)

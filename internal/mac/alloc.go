@@ -63,6 +63,7 @@ var (
 	ErrAlreadyAllocated = errors.New("mac: node already holds a channel")
 	ErrNotAllocated     = errors.New("mac: node holds no channel")
 	ErrBadDemand        = errors.New("mac: demand must be positive")
+	ErrRegionBusy       = errors.New("mac: requested spectrum region unavailable")
 )
 
 // Allocate grants nodeID a channel wide enough for demandBps. It returns
@@ -134,6 +135,38 @@ func (al *Allocator) placeChannel(width float64) (float64, bool) {
 		return 0, false
 	}
 	return best.lo, true
+}
+
+// AllocateRegion grants nodeID the exact channel
+// [centerHz−widthHz/2, centerHz+widthHz/2] — targeted placement used when
+// promoting an SDM sharer to owner of the spectrum it already occupies,
+// where the policy-driven gap search of Allocate would move the channel.
+// The region must lie inside the band and clear of every current
+// assignment.
+func (al *Allocator) AllocateRegion(nodeID uint32, centerHz, widthHz float64) (Assignment, error) {
+	if widthHz <= 0 {
+		return Assignment{}, ErrBadDemand
+	}
+	if _, ok := al.byNode[nodeID]; ok {
+		return Assignment{}, ErrAlreadyAllocated
+	}
+	lo, hi := centerHz-widthHz/2, centerHz+widthHz/2
+	if !al.band.Contains(lo, hi) {
+		return Assignment{}, ErrRegionBusy
+	}
+	for _, a := range al.byNode {
+		if lo < a.High() && a.Low() < hi {
+			return Assignment{}, ErrRegionBusy
+		}
+	}
+	asg := Assignment{
+		NodeID:      nodeID,
+		CenterHz:    centerHz,
+		WidthHz:     widthHz,
+		FSKOffsetHz: widthHz * al.FSKFraction,
+	}
+	al.byNode[nodeID] = asg
+	return asg, nil
 }
 
 // Release frees nodeID's channel.

@@ -335,3 +335,161 @@ func TestBestFitPreservesLargeGaps(t *testing.T) {
 		t.Error("invariants broken")
 	}
 }
+
+func TestProtoRoundtripsLifecycle(t *testing.T) {
+	msgs := []any{
+		ShareConfirmMsg{NodeID: 9, ShareHz: 24.06e9, WidthHz: 50e6, Harmonic: -2},
+		PromoteMsg{NodeID: 9, CenterHz: 24.06e9, WidthHz: 50e6, FSKOffsetHz: 2.5e6},
+	}
+	for _, m := range msgs {
+		raw, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		got, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		if got != m {
+			t.Errorf("roundtrip %T: %#v != %#v", m, got, m)
+		}
+		if _, err := Unmarshal(raw[:len(raw)-1]); err != ErrShortMessage {
+			t.Errorf("truncated %T: %v", m, err)
+		}
+	}
+}
+
+func TestAllocateRegion(t *testing.T) {
+	al := NewAllocator(ISM24GHz())
+	a, err := al.Allocate(1, 100e6) // [0,125) MHz
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A free region is granted in place.
+	center := a.High() + 25e6
+	r, err := al.AllocateRegion(2, center, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CenterHz != center || r.WidthHz != 50e6 {
+		t.Errorf("region = %+v", r)
+	}
+	if r.FSKOffsetHz != 50e6*al.FSKFraction {
+		t.Errorf("FSK offset = %g", r.FSKOffsetHz)
+	}
+	if err := al.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Occupied, out-of-band, duplicate and degenerate requests fail.
+	if _, err := al.AllocateRegion(3, a.CenterHz, 10e6); !errors.Is(err, ErrRegionBusy) {
+		t.Errorf("occupied region: %v", err)
+	}
+	if _, err := al.AllocateRegion(3, al.band.HighHz, 10e6); !errors.Is(err, ErrRegionBusy) {
+		t.Errorf("out of band: %v", err)
+	}
+	if _, err := al.AllocateRegion(2, center, 50e6); !errors.Is(err, ErrAlreadyAllocated) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := al.AllocateRegion(3, center, 0); !errors.Is(err, ErrBadDemand) {
+		t.Errorf("zero width: %v", err)
+	}
+}
+
+// TestControllerSharerLifecycle drives the churn-safe release path at the
+// protocol level: confirm sharers, release the owner, observe promotion.
+func TestControllerSharerLifecycle(t *testing.T) {
+	c := NewController(ISM24GHz())
+	handle := func(m any) any {
+		raw, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := c.Handle(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply == nil {
+			return nil
+		}
+		msg, err := Unmarshal(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return msg
+	}
+	owner := handle(JoinRequest{NodeID: 1, DemandBps: 200e6}).(AssignmentMsg) // whole band
+	if _, ok := handle(JoinRequest{NodeID: 2, DemandBps: 80e6}).(RejectMsg); !ok {
+		t.Fatal("band full: join should be rejected into SDM")
+	}
+	handle(ShareConfirmMsg{NodeID: 2, ShareHz: owner.CenterHz, WidthHz: 100e6, Harmonic: 2})
+	handle(ShareConfirmMsg{NodeID: 3, ShareHz: owner.CenterHz, WidthHz: 10e6, Harmonic: -1})
+	if got := c.SharersOn(owner.CenterHz); len(got) != 2 {
+		t.Fatalf("sharers = %v", got)
+	}
+	if ch, ok := c.SharerChannel(2); !ok || ch != owner.CenterHz {
+		t.Fatal("sharer 2 not registered")
+	}
+
+	// The owner leaves: the widest sharer is promoted in place.
+	promote, ok := handle(ReleaseMsg{NodeID: 1}).(PromoteMsg)
+	if !ok {
+		t.Fatal("release over live sharers should promote")
+	}
+	if promote.NodeID != 2 || promote.CenterHz != owner.CenterHz || promote.WidthHz != 100e6 {
+		t.Errorf("promotion = %+v", promote)
+	}
+	if _, ok := c.Alloc.Lookup(2); !ok {
+		t.Fatal("promoted sharer missing from allocator")
+	}
+	if _, ok := c.SharerChannel(2); ok {
+		t.Error("promoted node still registered as sharer")
+	}
+	if ch, ok := c.SharerChannel(3); !ok || ch != owner.CenterHz {
+		t.Error("remaining sharer lost")
+	}
+
+	// Fresh spectrum requests must respect the promoted channel.
+	grant, ok := handle(JoinRequest{NodeID: 4, DemandBps: 40e6}).(AssignmentMsg)
+	if !ok {
+		t.Fatal("free spectrum should be granted")
+	}
+	if grant.CenterHz-grant.WidthHz/2 < promote.CenterHz+promote.WidthHz/2 &&
+		promote.CenterHz-promote.WidthHz/2 < grant.CenterHz+grant.WidthHz/2 {
+		t.Errorf("grant %+v overlaps promoted channel %+v", grant, promote)
+	}
+	if err := c.Alloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A leaving sharer is struck from the registry without promotion.
+	if reply := handle(ReleaseMsg{NodeID: 3}); reply != nil {
+		t.Errorf("sharer release replied %v", reply)
+	}
+	if _, ok := c.SharerChannel(3); ok {
+		t.Error("sharer 3 still registered")
+	}
+	// Stale release stays a no-op.
+	if reply := handle(ReleaseMsg{NodeID: 99}); reply != nil {
+		t.Errorf("stale release replied %v", reply)
+	}
+}
+
+// TestControllerReconfirmMoves a sharer re-confirming on a new channel must
+// move, not duplicate, its registration.
+func TestControllerReconfirmMoves(t *testing.T) {
+	c := NewController(ISM24GHz())
+	handle := func(m any) {
+		raw, _ := Marshal(m)
+		if _, err := c.Handle(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	handle(ShareConfirmMsg{NodeID: 5, ShareHz: 24.05e9, WidthHz: 10e6, Harmonic: 1})
+	handle(ShareConfirmMsg{NodeID: 5, ShareHz: 24.10e9, WidthHz: 10e6, Harmonic: 1})
+	if got := c.SharersOn(24.05e9); len(got) != 0 {
+		t.Errorf("stale registration left behind: %v", got)
+	}
+	if ch, ok := c.SharerChannel(5); !ok || ch != 24.10e9 {
+		t.Errorf("sharer channel = %v %v", ch, ok)
+	}
+}

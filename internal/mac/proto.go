@@ -22,6 +22,8 @@ const (
 	MsgAssignment
 	MsgReject
 	MsgRelease
+	MsgShareConfirm
+	MsgPromote
 )
 
 // JoinRequest is a node asking for a channel sized to its demand.
@@ -49,6 +51,31 @@ type RejectMsg struct {
 	ShareHz float64
 	// Harmonic is encoded as a signed 8-bit value.
 	Harmonic int8
+}
+
+// ShareConfirmMsg is a rejected node reporting back the co-channel it
+// actually settled on: the AP's reject carries only a nominal host channel,
+// and the network layer re-places the node via TMA suppression
+// (bestHostChannel), so the AP must be told where the sharer really landed
+// or its spectrum books go stale — the root cause of the churn re-grant
+// bug. WidthHz is the sharer's occupied width; Harmonic its TMA slot.
+type ShareConfirmMsg struct {
+	NodeID  uint32
+	ShareHz float64
+	WidthHz float64
+	// Harmonic is encoded as a signed 8-bit value.
+	Harmonic int8
+}
+
+// PromoteMsg tells a former SDM sharer it now exclusively owns (part of)
+// the channel it was sharing: its previous host released the channel and
+// the AP promoted the sharer rather than returning spectrum that is still
+// spatially occupied to the free pool.
+type PromoteMsg struct {
+	NodeID      uint32
+	CenterHz    float64
+	WidthHz     float64
+	FSKOffsetHz float64
 }
 
 // Marshal errors.
@@ -86,6 +113,18 @@ func Marshal(msg any) ([]byte, error) {
 		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
 		b = appendF64(b, m.ShareHz)
 		return append(b, byte(m.Harmonic)), nil
+	case ShareConfirmMsg:
+		b := []byte{byte(MsgShareConfirm)}
+		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
+		b = appendF64(b, m.ShareHz)
+		b = appendF64(b, m.WidthHz)
+		return append(b, byte(m.Harmonic)), nil
+	case PromoteMsg:
+		b := []byte{byte(MsgPromote)}
+		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
+		b = appendF64(b, m.CenterHz)
+		b = appendF64(b, m.WidthHz)
+		return appendF64(b, m.FSKOffsetHz), nil
 	default:
 		return nil, ErrUnknownType
 	}
@@ -129,14 +168,45 @@ func Unmarshal(b []byte) (any, error) {
 			ShareHz:  readF64(b[5:]),
 			Harmonic: int8(b[13]),
 		}, nil
+	case MsgShareConfirm:
+		if len(b) < 1+4+16+1 {
+			return nil, ErrShortMessage
+		}
+		return ShareConfirmMsg{
+			NodeID:   binary.LittleEndian.Uint32(b[1:]),
+			ShareHz:  readF64(b[5:]),
+			WidthHz:  readF64(b[13:]),
+			Harmonic: int8(b[21]),
+		}, nil
+	case MsgPromote:
+		if len(b) < 1+4+24 {
+			return nil, ErrShortMessage
+		}
+		return PromoteMsg{
+			NodeID:      binary.LittleEndian.Uint32(b[1:]),
+			CenterHz:    readF64(b[5:]),
+			WidthHz:     readF64(b[13:]),
+			FSKOffsetHz: readF64(b[21:]),
+		}, nil
 	default:
 		return nil, ErrUnknownType
 	}
 }
 
+// Sharer is one confirmed SDM occupant of a channel, as recorded by the
+// controller's spectrum books.
+type Sharer struct {
+	NodeID   uint32
+	WidthHz  float64
+	Harmonic int8
+}
+
 // Controller is the AP-side handler of the initialization protocol: it
 // owns an Allocator and answers JoinRequests with Assignments (or a
-// Reject carrying an SDM share slot when FDM is exhausted).
+// Reject carrying an SDM share slot when FDM is exhausted). It also keeps
+// the SDM sharer registry that makes spectrum release churn-safe: a
+// channel whose FDM owner leaves is not returned to the free pool while
+// sharers still occupy it — instead one sharer is promoted to owner.
 type Controller struct {
 	Alloc *Allocator
 	// nextHarmonic round-robins SDM slots handed to rejected nodes.
@@ -146,15 +216,121 @@ type Controller struct {
 	nextShare int
 	// MaxHarmonic bounds the SDM slots (± the AP TMA's usable range).
 	MaxHarmonic int
+	// sharers lists the confirmed SDM occupants per channel, keyed by the
+	// exact center frequency the sharer confirmed (centers are copied
+	// verbatim from assignments, so float equality is exact).
+	sharers map[float64][]Sharer
+	// shareOf maps a sharer's node ID to the channel center it confirmed.
+	shareOf map[uint32]float64
 }
 
 // NewController builds the AP-side protocol handler over a band.
 func NewController(band Band) *Controller {
-	return &Controller{Alloc: NewAllocator(band), MaxHarmonic: 4}
+	return &Controller{
+		Alloc:       NewAllocator(band),
+		MaxHarmonic: 4,
+		sharers:     make(map[float64][]Sharer),
+		shareOf:     make(map[uint32]float64),
+	}
+}
+
+// SharerChannel reports whether nodeID is a registered SDM sharer and, if
+// so, the center frequency of the channel it shares.
+func (c *Controller) SharerChannel(nodeID uint32) (float64, bool) {
+	center, ok := c.shareOf[nodeID]
+	return center, ok
+}
+
+// SharersOn returns the confirmed SDM occupants of the channel centered at
+// centerHz, in confirmation order.
+func (c *Controller) SharersOn(centerHz float64) []Sharer {
+	return append([]Sharer(nil), c.sharers[centerHz]...)
+}
+
+// confirmShare registers (or re-registers) a node as an SDM sharer on the
+// channel it settled on after TMA placement.
+func (c *Controller) confirmShare(m ShareConfirmMsg) {
+	if old, ok := c.shareOf[m.NodeID]; ok {
+		c.removeSharer(m.NodeID, old)
+	}
+	c.sharers[m.ShareHz] = append(c.sharers[m.ShareHz], Sharer{
+		NodeID: m.NodeID, WidthHz: m.WidthHz, Harmonic: m.Harmonic,
+	})
+	c.shareOf[m.NodeID] = m.ShareHz
+}
+
+func (c *Controller) removeSharer(nodeID uint32, centerHz float64) {
+	occ := c.sharers[centerHz]
+	for i, s := range occ {
+		if s.NodeID == nodeID {
+			occ = append(occ[:i], occ[i+1:]...)
+			break
+		}
+	}
+	if len(occ) == 0 {
+		delete(c.sharers, centerHz)
+	} else {
+		c.sharers[centerHz] = occ
+	}
+	delete(c.shareOf, nodeID)
+}
+
+// release frees a node's spectrum churn-safely. A leaving sharer is simply
+// struck from the registry. A leaving FDM owner whose channel still hosts
+// sharers must NOT hand the whole channel back to the pool — a later
+// joiner would be granted it as an exclusive channel and silently collide
+// with the live sharers. Instead the widest sharer (the demand best
+// matched to the freed channel; its extent then covers every remaining
+// narrower sharer, which all sit at the same center) is promoted to owner
+// of the spectrum it already occupies, and the reply carries a PromoteMsg
+// so the node side can flip the sharer to exclusive operation.
+func (c *Controller) release(nodeID uint32) ([]byte, error) {
+	if center, ok := c.shareOf[nodeID]; ok {
+		c.removeSharer(nodeID, center)
+		return nil, nil
+	}
+	asg, ok := c.Alloc.Lookup(nodeID)
+	if !ok {
+		// Releasing an unknown node is a no-op, matching how APs treat
+		// stale releases.
+		return nil, nil
+	}
+	_ = c.Alloc.Release(nodeID)
+	occ := c.sharers[asg.CenterHz]
+	if len(occ) == 0 {
+		return nil, nil
+	}
+	p := occ[0]
+	for _, s := range occ[1:] {
+		if s.WidthHz > p.WidthHz || (s.WidthHz == p.WidthHz && s.NodeID < p.NodeID) {
+			p = s
+		}
+	}
+	width := p.WidthHz
+	if width > asg.WidthHz {
+		// A sharer wider than its host already stuck out before the
+		// churn; promotion keeps the status quo by clamping to the freed
+		// channel rather than overlapping the neighbours.
+		width = asg.WidthHz
+	}
+	promoted, err := c.Alloc.AllocateRegion(p.NodeID, asg.CenterHz, width)
+	if err != nil {
+		// The region was just freed, so this cannot happen; keep the
+		// sharer registered rather than corrupt the books.
+		return nil, nil
+	}
+	c.removeSharer(p.NodeID, asg.CenterHz)
+	return Marshal(PromoteMsg{
+		NodeID:      promoted.NodeID,
+		CenterHz:    promoted.CenterHz,
+		WidthHz:     promoted.WidthHz,
+		FSKOffsetHz: promoted.FSKOffsetHz,
+	})
 }
 
 // Handle processes one encoded control message and returns the encoded
-// reply (nil for Release, which has no reply).
+// reply (nil for ShareConfirm and for Release, unless the release promotes
+// a sharer, in which case the reply is a PromoteMsg).
 func (c *Controller) Handle(raw []byte) ([]byte, error) {
 	msg, err := Unmarshal(raw)
 	if err != nil {
@@ -188,11 +364,11 @@ func (c *Controller) Handle(raw []byte) ([]byte, error) {
 			return Marshal(RejectMsg{NodeID: m.NodeID, ShareHz: share, Harmonic: int8(h)})
 		}
 		return nil, err
-	case ReleaseMsg:
-		// Releasing an unknown node is a no-op, matching how APs treat
-		// stale releases.
-		_ = c.Alloc.Release(m.NodeID)
+	case ShareConfirmMsg:
+		c.confirmShare(m)
 		return nil, nil
+	case ReleaseMsg:
+		return c.release(m.NodeID)
 	default:
 		return nil, ErrUnknownType
 	}

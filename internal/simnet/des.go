@@ -123,7 +123,19 @@ func (r RunStats) TotalGoodputBps() float64 {
 // every envStep), each node's traffic model emits frames, and every frame
 // is delivered with probability (1−BER)^bits at the node's instantaneous
 // SINR. SINR below outageSINRdB counts as an outage sample.
+//
+// Run indexes nodes and their report slots from the node list captured at
+// start, so membership churn mid-run would silently misattribute traffic
+// and stats. Join and Leave therefore panic while Run executes (including
+// from traffic-model callbacks); drive churn between runs — spectrum
+// state carries over. MoveNode and blocker motion remain safe: they
+// change link geometry, not membership.
 func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
+	if nw.running {
+		panic("simnet: Run is not reentrant")
+	}
+	nw.running = true
+	defer func() { nw.running = false }()
 	sim := NewSim()
 	stats := make([]NodeStats, len(nw.Nodes))
 	index := make(map[uint32]int, len(nw.Nodes))

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mmx/internal/antenna"
 	"mmx/internal/channel"
@@ -58,7 +61,22 @@ type Network struct {
 	// ACLRAdjacentDB and ACLRFarDB set adjacent-channel leakage for FDM
 	// neighbours (power ratio below the carrier).
 	ACLRAdjacentDB, ACLRFarDB float64
-	rng                       *stats.RNG
+	// Workers caps the evaluation engine's parallel fan-out: 0 uses
+	// GOMAXPROCS, 1 forces the serial path. Parallel and serial results
+	// are bit-identical (each node writes only its own output slot).
+	Workers int
+	rng     *stats.RNG
+	// coupling caches the pairwise coupling matrix as linear power
+	// factors (flat n×n; coupling[i*n+j] = FromDB(-couplingDB(i,j)), so
+	// the interference sum is pure multiply-add with no per-pair dB
+	// conversion). It depends only on assignments, harmonics and poses —
+	// NOT on blocker motion — so EvaluateSINR reuses it across
+	// environment steps; membership or pose churn marks it dirty via
+	// invalidateCoupling.
+	coupling      []float64
+	couplingDirty bool
+	// running guards against membership churn while Run is executing.
+	running bool
 }
 
 // New builds a network in an environment with the AP at apPose, operating
@@ -89,8 +107,12 @@ func NewWithBand(env *channel.Environment, apPose channel.Pose, seed uint64, ban
 var ErrJoinFailed = errors.New("simnet: join failed")
 
 // Join runs the initialization protocol for one node (the WiFi/Bluetooth
-// handshake of §7a) and installs it into the network.
+// handshake of §7a) and installs it into the network. It must not be
+// called while Run is executing (see Run) and panics if it is.
 func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic TrafficModel) (*Node, error) {
+	if nw.running {
+		panic("simnet: Join during Run is not supported — Run indexes nodes at start; churn between runs instead")
+	}
 	raw, err := mac.Marshal(mac.JoinRequest{NodeID: id, DemandBps: demandBps})
 	if err != nil {
 		return nil, err
@@ -126,11 +148,37 @@ func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic
 		if c, ok := nw.bestHostChannel(n.SDMHarmonic, nw.AP.AngleTo(pose.Pos)); ok {
 			n.Assignment.CenterHz = c
 		}
+		// Report the final placement back so the AP's spectrum books
+		// track where the sharer really landed — this is what lets the
+		// controller promote (rather than re-grant) the channel when
+		// its FDM owner later leaves.
+		confirm, err := mac.Marshal(mac.ShareConfirmMsg{
+			NodeID:   id,
+			ShareHz:  n.Assignment.CenterHz,
+			WidthHz:  n.Assignment.WidthHz,
+			Harmonic: int8(n.SDMHarmonic),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := nw.Controller.Handle(confirm); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrJoinFailed, err)
+		}
 	default:
 		return nil, ErrJoinFailed
 	}
 	n.Link = core.NewLink(nw.Env, pose, nw.AP)
 	n.Link.Beams = nw.NodeBeams
+	nw.applyAssignment(n)
+	nw.Nodes = append(nw.Nodes, n)
+	nw.invalidateCoupling()
+	return n, nil
+}
+
+// applyAssignment (re)derives a node's link configuration and adapted PHY
+// rate from its current spectrum assignment — used at join and again when
+// a release promotes the node from SDM sharer to FDM owner.
+func (nw *Network) applyAssignment(n *Node) {
 	cfg := nw.LinkCfg
 	cfg.BandwidthHz = n.Assignment.WidthHz
 	cfg.Modem.F0 = -n.Assignment.FSKOffsetHz / 2
@@ -139,14 +187,12 @@ func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic
 	// Adapt the PHY rate to the link (switch-speed scaling, §5.1),
 	// bounded by what the allocated channel width can carry.
 	n.RateBps = n.Link.AdaptRate(1e-6)
-	if cap := n.Assignment.WidthHz / 1.25; n.RateBps > cap {
-		n.RateBps = cap
+	if rateCap := n.Assignment.WidthHz / 1.25; n.RateBps > rateCap {
+		n.RateBps = rateCap
 	}
 	if n.RateBps <= 0 {
-		n.RateBps = demandBps // hopeless link: frames will die to BER anyway
+		n.RateBps = n.Demand // hopeless link: frames will die to BER anyway
 	}
-	nw.Nodes = append(nw.Nodes, n)
-	return n, nil
 }
 
 // pairSuppressionDB returns the worse-direction TMA suppression between
@@ -212,16 +258,115 @@ func (nw *Network) bestHostChannel(h int, th float64) (float64, bool) {
 	return bestCenter, found
 }
 
-// Leave removes a node and releases its spectrum.
+// Leave removes a node and releases its spectrum churn-safely: if the
+// leaver was the FDM owner of a channel that SDM sharers still occupy, the
+// controller promotes the widest sharer to owner (PromoteMsg) instead of
+// returning the occupied channel to the free pool, and the promoted node
+// is flipped to exclusive operation here. Leave must not be called while
+// Run is executing and panics if it is.
 func (nw *Network) Leave(id uint32) {
+	if nw.running {
+		panic("simnet: Leave during Run is not supported — Run indexes nodes at start; churn between runs instead")
+	}
 	raw, _ := mac.Marshal(mac.ReleaseMsg{NodeID: id})
-	nw.Controller.Handle(raw) //nolint:errcheck // release has no reply
+	reply, _ := nw.Controller.Handle(raw) //nolint:errcheck // release errors are stale no-ops
 	for i, n := range nw.Nodes {
 		if n.ID == id {
 			nw.Nodes = append(nw.Nodes[:i], nw.Nodes[i+1:]...)
+			break
+		}
+	}
+	nw.applyPromotion(reply)
+	nw.invalidateCoupling()
+}
+
+// applyPromotion installs a PromoteMsg replied to a release: the named SDM
+// sharer becomes the exclusive owner of (part of) the channel it shared.
+func (nw *Network) applyPromotion(reply []byte) {
+	if len(reply) == 0 {
+		return
+	}
+	msg, err := mac.Unmarshal(reply)
+	if err != nil {
+		return
+	}
+	p, ok := msg.(mac.PromoteMsg)
+	if !ok {
+		return
+	}
+	for _, n := range nw.Nodes {
+		if n.ID == p.NodeID {
+			n.SDMShared = false
+			n.Assignment = mac.Assignment{
+				NodeID: p.NodeID, CenterHz: p.CenterHz,
+				WidthHz: p.WidthHz, FSKOffsetHz: p.FSKOffsetHz,
+			}
+			nw.applyAssignment(n)
 			return
 		}
 	}
+}
+
+// MoveNode repositions a live node (a camera carried across the room) and
+// refreshes everything pose-dependent: the OTAM link geometry, the node's
+// TMA harmonic slot, and the cached coupling matrix. It reports whether
+// the node exists. Safe during Run — membership does not change.
+func (nw *Network) MoveNode(id uint32, pose channel.Pose) bool {
+	for _, n := range nw.Nodes {
+		if n.ID == id {
+			n.Pose = pose
+			n.Link.Node = pose
+			n.SDMHarmonic = nw.SDM.BestHarmonic(nw.AP.AngleTo(pose.Pos))
+			nw.invalidateCoupling()
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateSpectrum cross-checks the network's spectrum state against the
+// MAC layer's books: allocator invariants hold, every FDM owner's
+// assignment matches the allocator's record, every SDM sharer is
+// registered with the controller on the channel it actually occupies, and
+// no two exclusive (non-SDM) channels overlap. It returns nil when
+// consistent — the property the churn lifecycle preserves.
+func (nw *Network) ValidateSpectrum() error {
+	if err := nw.Controller.Alloc.Validate(); err != nil {
+		return err
+	}
+	for _, n := range nw.Nodes {
+		if n.SDMShared {
+			c, ok := nw.Controller.SharerChannel(n.ID)
+			if !ok {
+				return fmt.Errorf("simnet: SDM node %d not registered with the controller", n.ID)
+			}
+			if c != n.Assignment.CenterHz {
+				return fmt.Errorf("simnet: SDM node %d confirmed on %.0f Hz but occupies %.0f Hz",
+					n.ID, c, n.Assignment.CenterHz)
+			}
+			continue
+		}
+		a, ok := nw.Controller.Alloc.Lookup(n.ID)
+		if !ok {
+			return fmt.Errorf("simnet: exclusive node %d holds no allocation", n.ID)
+		}
+		if a.CenterHz != n.Assignment.CenterHz || a.WidthHz != n.Assignment.WidthHz {
+			return fmt.Errorf("simnet: node %d assignment drifted from the allocator", n.ID)
+		}
+	}
+	for i, a := range nw.Nodes {
+		for _, b := range nw.Nodes[i+1:] {
+			if a.SDMShared || b.SDMShared {
+				continue
+			}
+			// Same 1 µHz tolerance as Allocator.Validate, so exactly
+			// abutting channels don't trip on float rounding.
+			if a.Assignment.Low() < b.Assignment.High()-1e-6 && b.Assignment.Low() < a.Assignment.High()-1e-6 {
+				return fmt.Errorf("simnet: exclusive channels of nodes %d and %d overlap", a.ID, b.ID)
+			}
+		}
+	}
+	return nil
 }
 
 // Report is one node's instantaneous link quality within the network.
@@ -239,24 +384,29 @@ type Report struct {
 	SDM bool
 }
 
-// couplingDB returns how many dB below its carrier node j's power lands in
-// node i's receiver: frequency separation for FDM, TMA harmonic leakage
-// for co-channel SDM pairs.
-func (nw *Network) couplingDB(i, j *Node) float64 {
+// freqCouplingDB classifies the FDM relationship between two channels.
+// ok is false when the channels overlap (co-channel); otherwise the
+// returned value is the adjacent- or far-channel leakage, decided by the
+// actual edge-to-edge distance: a neighbour closer than the narrower
+// channel's width leaks at ACLRAdjacentDB, anything farther at ACLRFarDB.
+// (Comparing center separation against channel-width sums, as earlier
+// revisions did, misclassifies unequal-width neighbours.)
+func (nw *Network) freqCouplingDB(i, j *Node) (float64, bool) {
 	sep := math.Abs(i.Assignment.CenterHz - j.Assignment.CenterHz)
 	halfWidths := (i.Assignment.WidthHz + j.Assignment.WidthHz) / 2
-	if sep >= halfWidths {
-		// Disjoint channels: adjacent or far leakage.
-		if sep < 2*halfWidths {
-			return nw.ACLRAdjacentDB
-		}
-		return nw.ACLRFarDB
+	if sep < halfWidths {
+		return 0, false
 	}
-	// Co-channel: separated spatially by the TMA. Leakage is j's energy
-	// appearing at i's harmonic relative to j's own harmonic.
-	thJ := nw.AP.AngleTo(j.Pose.Pos)
-	own := cmplx.Abs(nw.SDM.HarmonicGain(j.SDMHarmonic, thJ))
-	leak := cmplx.Abs(nw.SDM.HarmonicGain(i.SDMHarmonic, thJ))
+	edgeGap := sep - halfWidths
+	if edgeGap < math.Min(i.Assignment.WidthHz, j.Assignment.WidthHz) {
+		return nw.ACLRAdjacentDB, true
+	}
+	return nw.ACLRFarDB, true
+}
+
+// tmaSuppressionDB converts a transmitter's own-harmonic and leaked
+// amplitudes into the [0,150] dB suppression figure.
+func tmaSuppressionDB(own, leak float64) float64 {
 	if own <= 0 {
 		return 0
 	}
@@ -273,25 +423,143 @@ func (nw *Network) couplingDB(i, j *Node) float64 {
 	return supp
 }
 
-// EvaluateSINR computes every node's current SNR and SINR.
+// couplingDB returns how many dB below its carrier node j's power lands in
+// node i's receiver: frequency separation for FDM, TMA harmonic leakage
+// for co-channel SDM pairs, and nothing at all — 0 dB, full collision —
+// for overlapping channels with no SDM party (the post-churn bug state;
+// earlier revisions granted such pairs phantom TMA suppression). This is
+// the reference implementation; the cached matrix built by ensureCoupling
+// stores FromDB(−couplingDB) per pair, bit-identical to linearizing this
+// value, via precomputed harmonic gain tables.
+func (nw *Network) couplingDB(i, j *Node) float64 {
+	if c, ok := nw.freqCouplingDB(i, j); ok {
+		return c
+	}
+	if !i.SDMShared && !j.SDMShared {
+		return 0
+	}
+	// Co-channel: separated spatially by the TMA. Leakage is j's energy
+	// appearing at i's harmonic relative to j's own harmonic.
+	thJ := nw.AP.AngleTo(j.Pose.Pos)
+	own := cmplx.Abs(nw.SDM.HarmonicGain(j.SDMHarmonic, thJ))
+	leak := cmplx.Abs(nw.SDM.HarmonicGain(i.SDMHarmonic, thJ))
+	return tmaSuppressionDB(own, leak)
+}
+
+// invalidateCoupling marks the cached coupling matrix stale. Join, Leave,
+// promotion and MoveNode call it; blocker motion (Env.Step) does not,
+// because coupling depends only on assignments, harmonics and poses.
+func (nw *Network) invalidateCoupling() { nw.couplingDirty = true }
+
+// ensureCoupling rebuilds the cached coupling matrix if membership, poses
+// or assignments changed since the last build. The rebuild precomputes
+// each node's full TMA harmonic gain table at its angle of arrival once
+// (tma.GainTable), so the n² pair fill does table lookups instead of
+// re-summing the array response per pair, and stores each entry already
+// linearized (FromDB(−dB)) so the per-call interference sum pays no dB
+// conversion.
+func (nw *Network) ensureCoupling() {
+	n := len(nw.Nodes)
+	if !nw.couplingDirty && len(nw.coupling) == n*n {
+		return
+	}
+	if cap(nw.coupling) < n*n {
+		nw.coupling = make([]float64, n*n)
+	} else {
+		nw.coupling = nw.coupling[:n*n]
+	}
+	maxM := nw.SDM.MaxHarmonic()
+	tables := make([][]complex128, n)
+	nw.forEachNode(n, func(j int) {
+		tables[j] = nw.SDM.GainTable(nw.AP.AngleTo(nw.Nodes[j].Pose.Pos))
+	})
+	nw.forEachNode(n, func(i int) {
+		node := nw.Nodes[i]
+		row := nw.coupling[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			if i == j {
+				row[j] = 0 // unused: the interference sum skips i==j
+				continue
+			}
+			other := nw.Nodes[j]
+			if c, ok := nw.freqCouplingDB(node, other); ok {
+				row[j] = units.FromDB(-c)
+				continue
+			}
+			if !node.SDMShared && !other.SDMShared {
+				row[j] = 1 // full collision, 0 dB
+				continue
+			}
+			own := cmplx.Abs(tables[j][other.SDMHarmonic+maxM])
+			leak := cmplx.Abs(tables[j][node.SDMHarmonic+maxM])
+			row[j] = units.FromDB(-tmaSuppressionDB(own, leak))
+		}
+	})
+	nw.couplingDirty = false
+}
+
+// forEachNode runs fn(i) for every i in [0,n), fanned out across the
+// network's worker pool. Each index writes only its own output slot, so
+// results are bit-identical to the serial loop regardless of scheduling.
+func (nw *Network) forEachNode(n int, fn func(i int)) {
+	workers := nw.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EvaluateSINR computes every node's current SNR and SINR. The per-node
+// link evaluations and interference sums fan out across the worker pool
+// (Workers), each node's gains and path class come from one shared path
+// enumeration (Link.EvaluateWithClass), and the pairwise coupling matrix
+// is served from the cache in linear form — rebuilt only after
+// membership, pose or assignment changes, not per call.
 func (nw *Network) EvaluateSINR() []Report {
 	n := len(nw.Nodes)
+	nw.ensureCoupling()
 	evals := make([]core.Evaluation, n)
 	powers := make([]float64, n) // peak received power, watts
-	for i, node := range nw.Nodes {
-		evals[i] = node.Link.Evaluate()
+	nw.forEachNode(n, func(i int) {
+		evals[i] = nw.Nodes[i].Link.EvaluateWithClass()
 		g := math.Max(cmplx.Abs(evals[i].G0), cmplx.Abs(evals[i].G1))
 		powers[i] = g * g
-	}
+	})
 	out := make([]Report, n)
-	for i, node := range nw.Nodes {
+	nw.forEachNode(n, func(i int) {
+		node := nw.Nodes[i]
 		noise := evals[i].NoisePowerW
 		interf := 0.0
-		for j, other := range nw.Nodes {
+		row := nw.coupling[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			interf += powers[j] * units.FromDB(-nw.couplingDB(node, other))
+			interf += powers[j] * row[j]
 		}
 		sinr := units.DB(powers[i] / (noise + interf))
 		ev := evals[i]
@@ -301,10 +569,10 @@ func (nw *Network) EvaluateSINR() []Report {
 			SNRdB:     units.DB(powers[i] / noise),
 			SINRdB:    sinr,
 			BER:       ev.BERWithOTAM(),
-			PathClass: nw.Env.BestPathClass(node.Pose.Pos, nw.AP.Pos),
+			PathClass: ev.PathClass,
 			SDM:       node.SDMShared,
 		}
-	}
+	})
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mmx/internal/channel"
+	"mmx/internal/mac"
 	"mmx/internal/stats"
 	"mmx/internal/units"
 )
@@ -451,5 +452,255 @@ func TestOverloadedNodeDropsFrames(t *testing.T) {
 	// Goodput caps at roughly the PHY rate, not the offered rate.
 	if g := st.BitsDelivered / res.Duration; g > 7e6 {
 		t.Errorf("goodput %.1f Mbps exceeds the 6 Mbps PHY", g/1e6)
+	}
+}
+
+// join is a helper for churn tests: one node at a deterministic pose.
+func joinOne(t *testing.T, nw *Network, id uint32, demand float64) *Node {
+	t.Helper()
+	pos := channel.Vec2{X: 1.5 + 0.7*float64(id%6), Y: 1 + 0.3*float64(id%4)}
+	orient := nw.AP.Pos.Sub(pos).Angle()
+	n, err := nw.Join(id, channel.Pose{Pos: pos, Orientation: orient}, demand, HDCamera(8))
+	if err != nil {
+		t.Fatalf("join %d: %v", id, err)
+	}
+	return n
+}
+
+func assignmentsOverlap(a, b mac.Assignment) bool {
+	return a.Low() < b.High()-1e-6 && b.Low() < a.High()-1e-6
+}
+
+// TestChurnOwnerLeavePromotesSharer is the regression for the verified
+// churn bug: after an FDM owner leaves a channel that an SDM sharer still
+// occupies, the freed spectrum must NOT be re-granted as an exclusive
+// channel over the live sharer. The fixed lifecycle promotes the sharer.
+func TestChurnOwnerLeavePromotesSharer(t *testing.T) {
+	nw := newTestNetwork(60)
+	n1 := joinOne(t, nw, 1, 100e6) // 125 MHz
+	n2 := joinOne(t, nw, 2, 100e6) // 125 MHz: band full
+	n3 := joinOne(t, nw, 3, 10e6)  // SDM fallback
+	if !n3.SDMShared {
+		t.Fatal("third join should fall back to SDM")
+	}
+	host := n1
+	if n3.Assignment.CenterHz == n2.Assignment.CenterHz {
+		host = n2
+	} else if n3.Assignment.CenterHz != n1.Assignment.CenterHz {
+		t.Fatal("sharer not co-channel with an owner")
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatalf("pre-churn: %v", err)
+	}
+
+	nw.Leave(host.ID)
+	if n3.SDMShared {
+		t.Fatal("sharer not promoted after its host left")
+	}
+	if _, ok := nw.Controller.Alloc.Lookup(3); !ok {
+		t.Fatal("promoted sharer missing from the allocator")
+	}
+	// A fresh joiner must land clear of the promoted ex-sharer.
+	n4 := joinOne(t, nw, 4, 80e6)
+	if !n4.SDMShared && assignmentsOverlap(n4.Assignment, n3.Assignment) {
+		t.Fatalf("exclusive re-grant %v over live ex-sharer %v", n4.Assignment, n3.Assignment)
+	}
+	if err := nw.Controller.Alloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromotionCoversRemainingSharers pins the multi-sharer rule: the
+// widest sharer is promoted so its channel covers every remaining
+// narrower sharer at the same center, and cascading leaves stay valid.
+func TestPromotionCoversRemainingSharers(t *testing.T) {
+	nw := newTestNetwork(61)
+	n1 := joinOne(t, nw, 1, 200e6) // 250 MHz: whole band
+	n2 := joinOne(t, nw, 2, 80e6)  // SDM, 100 MHz
+	n3 := joinOne(t, nw, 3, 8e6)   // SDM, 10 MHz
+	if n1.SDMShared || !n2.SDMShared || !n3.SDMShared {
+		t.Fatal("expected one owner plus two sharers")
+	}
+	nw.Leave(1)
+	if n2.SDMShared {
+		t.Fatal("widest sharer should be promoted")
+	}
+	if !n3.SDMShared {
+		t.Fatal("narrow sharer should stay SDM")
+	}
+	if n3.Assignment.CenterHz != n2.Assignment.CenterHz {
+		t.Fatal("remaining sharer lost its co-channel host")
+	}
+	if n3.Assignment.Low() < n2.Assignment.Low()-1e-6 ||
+		n3.Assignment.High() > n2.Assignment.High()+1e-6 {
+		t.Fatalf("remaining sharer %v outside promoted channel %v", n3.Assignment, n2.Assignment)
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatal(err)
+	}
+	// Cascade: the promoted owner leaves too; the last sharer is promoted.
+	nw.Leave(2)
+	if n3.SDMShared {
+		t.Fatal("last sharer should be promoted after cascade")
+	}
+	// With only a 10 MHz channel live, a 100 MHz joiner must get clear
+	// exclusive spectrum.
+	n5 := joinOne(t, nw, 5, 80e6)
+	if n5.SDMShared {
+		t.Fatal("ample free spectrum: join should be exclusive")
+	}
+	if assignmentsOverlap(n5.Assignment, n3.Assignment) {
+		t.Fatalf("fresh grant %v overlaps promoted node %v", n5.Assignment, n3.Assignment)
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelEvaluateMatchesSerial requires the worker-pool fan-out to be
+// bit-identical to the serial path across seeds and mixed FDM/SDM loads.
+func TestParallelEvaluateMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 9} {
+		build := func(workers int) []Report {
+			nw := newTestNetwork(seed)
+			nw.Workers = workers
+			placeNodes(t, nw, 12, 30e6) // 6 FDM + 6 SDM
+			return nw.EvaluateSINR()
+		}
+		serial := build(1)
+		parallel := build(8)
+		if len(serial) != len(parallel) {
+			t.Fatal("shape mismatch")
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Errorf("seed %d node %d: serial %+v != parallel %+v",
+					seed, i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+// TestCouplingCacheReusedAcrossEnvSteps pins the tentpole: blocker motion
+// must not invalidate the coupling matrix, while MoveNode must.
+func TestCouplingCacheReusedAcrossEnvSteps(t *testing.T) {
+	nw := newTestNetwork(62)
+	nodes := placeNodes(t, nw, 6, 40e6)
+	before := nw.EvaluateSINR()
+	if nw.couplingDirty {
+		t.Fatal("coupling should be clean after evaluation")
+	}
+	nw.Env.Step(0.1)
+	nw.EvaluateSINR()
+	if nw.couplingDirty {
+		t.Error("blocker motion must not invalidate the coupling cache")
+	}
+	if !nw.MoveNode(nodes[0].ID, channel.Pose{Pos: channel.Vec2{X: 5.5, Y: 3.5},
+		Orientation: nodes[0].Pose.Orientation}) {
+		t.Fatal("MoveNode missed a live node")
+	}
+	if !nw.couplingDirty {
+		t.Error("MoveNode must invalidate the coupling cache")
+	}
+	after := nw.EvaluateSINR()
+	if before[0].SNRdB == after[0].SNRdB {
+		t.Error("moved node's link should change")
+	}
+	if nw.MoveNode(999, channel.Pose{}) {
+		t.Error("MoveNode should report a missing node")
+	}
+}
+
+// TestCouplingNoPhantomSuppression pins the second verified bug: channels
+// that overlap without any SDM party are a genuine collision and must
+// couple at 0 dB, not get TMA suppression they never negotiated.
+func TestCouplingNoPhantomSuppression(t *testing.T) {
+	nw := newTestNetwork(63)
+	nodes := placeNodes(t, nw, 2, 10e6)
+	// Hand-craft the pre-fix churn state: node 2 parked on node 1's
+	// channel with both claiming exclusive ownership.
+	nodes[1].Assignment.CenterHz = nodes[0].Assignment.CenterHz
+	if got := nw.couplingDB(nodes[0], nodes[1]); got != 0 {
+		t.Errorf("colliding exclusive channels couple at %.1f dB, want 0", got)
+	}
+	// And the books cross-check must flag the inconsistency.
+	if err := nw.ValidateSpectrum(); err == nil {
+		t.Error("ValidateSpectrum should reject a hand-crafted collision")
+	}
+}
+
+// TestCouplingAdjacencyByEdgeDistance pins the unequal-width fix: a 100 MHz
+// channel's ACLR neighbourhood is decided by edge distance, not by the
+// center-separation rule that tagged half the band as "adjacent".
+func TestCouplingAdjacencyByEdgeDistance(t *testing.T) {
+	nw := newTestNetwork(64)
+	a := joinOne(t, nw, 1, 80e6) // [0,100) MHz of the band
+	b := joinOne(t, nw, 2, 10e6) // [100,112.5): touches a
+	c := joinOne(t, nw, 3, 10e6) // [112.5,125): one narrow channel away
+	if got := nw.couplingDB(a, b); got != nw.ACLRAdjacentDB {
+		t.Errorf("touching channels couple at %g dB, want adjacent %g", got, nw.ACLRAdjacentDB)
+	}
+	if got := nw.couplingDB(a, c); got != nw.ACLRFarDB {
+		t.Errorf("separated channels couple at %g dB, want far %g", got, nw.ACLRFarDB)
+	}
+	if got := nw.couplingDB(b, c); got != nw.ACLRAdjacentDB {
+		t.Errorf("narrow neighbours couple at %g dB, want adjacent %g", got, nw.ACLRAdjacentDB)
+	}
+}
+
+// TestChurnDuringRunPanics guards the Run engine's start-of-run indexing.
+func TestChurnDuringRunPanics(t *testing.T) {
+	nw := newTestNetwork(65)
+	placeNodes(t, nw, 1, 10e6)
+	nw.running = true
+	defer func() { nw.running = false }()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s during Run should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Join", func() {
+		nw.Join(9, channel.Pose{Pos: channel.Vec2{X: 3, Y: 2}}, 1e6, HDCamera(8))
+	})
+	mustPanic("Leave", func() { nw.Leave(1) })
+	mustPanic("Run", func() { nw.Run(0.1, 0.05, 10) })
+}
+
+// TestValidateSpectrumThroughHeavyChurn stress-drives the full lifecycle —
+// joins, SDM fallbacks, leaves, promotions — and requires the spectrum
+// books to stay consistent at every step.
+func TestValidateSpectrumThroughHeavyChurn(t *testing.T) {
+	nw := newTestNetwork(66)
+	rng := stats.NewRNG(17)
+	live := map[uint32]bool{}
+	next := uint32(1)
+	for op := 0; op < 200; op++ {
+		if rng.Bool() || len(live) == 0 {
+			id := next
+			next++
+			pos := channel.Vec2{X: rng.Uniform(1, 5.5), Y: rng.Uniform(0.5, 3.5)}
+			if _, err := nw.Join(id, channel.Pose{Pos: pos}, rng.Uniform(5e6, 80e6), HDCamera(8)); err == nil {
+				live[id] = true
+			}
+		} else {
+			for id := range live {
+				nw.Leave(id)
+				delete(live, id)
+				break
+			}
+		}
+		if err := nw.ValidateSpectrum(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+	// The network must still evaluate cleanly after the churn storm.
+	if reports := nw.EvaluateSINR(); len(reports) != len(live) {
+		t.Fatalf("reports %d != live %d", len(reports), len(live))
 	}
 }

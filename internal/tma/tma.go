@@ -133,12 +133,39 @@ func (a *Array) HarmonicPattern(m int, thetas []float64) []float64 {
 // sequential schedule's harmonics alias.
 func (a *Array) MaxHarmonic() int { return a.N / 2 }
 
+// GainTable returns HarmonicGain(m, theta) for every m in
+// [−MaxHarmonic, MaxHarmonic], indexed by m+MaxHarmonic. The per-element
+// steering phasors are computed once and shared across all harmonics, so
+// filling the whole table costs one phasor pass instead of one per
+// harmonic — the building block for simnet's cached coupling matrix, where
+// every co-channel pair needs gains at two harmonic indices per angle.
+// Each entry is bit-identical to the corresponding HarmonicGain call.
+func (a *Array) GainTable(theta float64) []complex128 {
+	maxM := a.MaxHarmonic()
+	out := make([]complex128, 2*maxM+1)
+	phasePerElem := 2 * math.Pi * a.SpacingWl * math.Sin(theta)
+	phasors := make([]complex128, a.N)
+	for n := 0; n < a.N; n++ {
+		phasors[n] = cmplx.Rect(1, phasePerElem*float64(n))
+	}
+	for m := -maxM; m <= maxM; m++ {
+		var g complex128
+		for n := 0; n < a.N; n++ {
+			g += a.Coefficient(m, n) * phasors[n]
+		}
+		out[m+maxM] = g
+	}
+	return out
+}
+
 // BestHarmonic returns the harmonic index whose response toward theta is
 // strongest — the frequency bin a transmitter at that angle lands in.
 func (a *Array) BestHarmonic(theta float64) int {
+	gt := a.GainTable(theta)
+	maxM := a.MaxHarmonic()
 	best, bestMag := 0, -1.0
-	for m := -a.MaxHarmonic(); m <= a.MaxHarmonic(); m++ {
-		if mag := cmplx.Abs(a.HarmonicGain(m, theta)); mag > bestMag {
+	for m := -maxM; m <= maxM; m++ {
+		if mag := cmplx.Abs(gt[m+maxM]); mag > bestMag {
 			bestMag = mag
 			best = m
 		}

@@ -316,3 +316,22 @@ func TestMixLinearityProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestGainTableMatchesHarmonicGain(t *testing.T) {
+	a := NewSDMArray(16, 1e6)
+	for _, th := range []float64{-1.2, -0.3, 0, 0.45, 1.0} {
+		gt := a.GainTable(th)
+		maxM := a.MaxHarmonic()
+		if len(gt) != 2*maxM+1 {
+			t.Fatalf("table length = %d", len(gt))
+		}
+		for m := -maxM; m <= maxM; m++ {
+			// Bit-identical, not merely close: the cached coupling matrix
+			// relies on it.
+			if gt[m+maxM] != a.HarmonicGain(m, th) {
+				t.Errorf("theta %g harmonic %d: table %v != direct %v",
+					th, m, gt[m+maxM], a.HarmonicGain(m, th))
+			}
+		}
+	}
+}

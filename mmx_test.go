@@ -377,3 +377,44 @@ func TestReceiveCodedUnrecoverable(t *testing.T) {
 		t.Error("silent capture should fail")
 	}
 }
+
+func TestNetworkChurnLifecycleAPI(t *testing.T) {
+	env := NewLabEnvironment(7)
+	nw := env.NewNetwork(Pose{X: 0.3, Y: 2}, 11)
+	nw.SetWorkers(2)
+	// Fill the band, overflow into SDM, then churn the owner out.
+	if _, err := nw.Join(1, Facing(2, 1, 0.3, 2), 200e6, CameraTraffic(8)); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := nw.Join(2, Facing(4, 3, 0.3, 2), 20e6, CameraTraffic(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared.SharedViaSDM {
+		t.Fatal("full band should push the second node into SDM")
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatal(err)
+	}
+	nw.Leave(1)
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatalf("post-churn books inconsistent: %v", err)
+	}
+	reports := nw.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].SharedViaSDM {
+		t.Error("surviving sharer should be promoted to exclusive owner")
+	}
+	// MoveNode relocates and the network keeps evaluating.
+	if !nw.MoveNode(2, Facing(1.5, 0.8, 0.3, 2)) {
+		t.Fatal("MoveNode missed node 2")
+	}
+	if nw.MoveNode(99, Facing(1, 1, 0.3, 2)) {
+		t.Error("MoveNode invented a node")
+	}
+	if got := nw.Reports(); len(got) != 1 || got[0].SINRdB <= 0 {
+		t.Errorf("post-move reports = %+v", got)
+	}
+}

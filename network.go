@@ -56,8 +56,28 @@ func (n *Network) Join(id uint32, pose Pose, demandBps float64, traffic Traffic)
 	}, nil
 }
 
-// Leave removes a node and returns its spectrum to the pool.
+// Leave removes a node and returns its spectrum to the pool, churn-safely:
+// if the leaver owned a channel that SDM sharers still occupy, the best
+// sharer is promoted to exclusive owner instead of the channel being
+// re-granted over the sharers' heads.
 func (n *Network) Leave(id uint32) { n.nw.Leave(id) }
+
+// MoveNode repositions a live node and refreshes its link geometry, TMA
+// harmonic slot, and the network's cached interference state. It reports
+// whether the node exists.
+func (n *Network) MoveNode(id uint32, pose Pose) bool {
+	return n.nw.MoveNode(id, pose.internal())
+}
+
+// ValidateSpectrum cross-checks the deployment's spectrum state against
+// the MAC layer's books (allocator invariants, owner/sharer registration,
+// no overlapping exclusive channels). It returns nil when consistent.
+func (n *Network) ValidateSpectrum() error { return n.nw.ValidateSpectrum() }
+
+// SetWorkers caps the SINR evaluation engine's parallel fan-out: 0 (the
+// default) uses all cores, 1 forces the serial path. Parallel and serial
+// evaluation produce bit-identical reports.
+func (n *Network) SetWorkers(w int) { n.nw.Workers = w }
 
 // NodeReport is one node's current link quality inside the network,
 // including interference from every other node.
