@@ -6,6 +6,7 @@
 //
 //	mmx-sim -nodes 8 -duration 5 -blockers 2
 //	mmx-sim -room 12x8 -nodes 20 -rate 8 -seed 3
+//	mmx-sim -nodes 8 -drop 0.3 -dup 0.15 -crash 2@0.5 -reboot 2@1.5 -ap-restart 2@0.25
 package main
 
 import (
@@ -25,6 +26,13 @@ func main() {
 	blockers := flag.Int("blockers", 1, "number of walking people")
 	duration := flag.Float64("duration", 3, "simulated seconds")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	drop := flag.Float64("drop", 0, "control side-channel frame drop probability")
+	dup := flag.Float64("dup", 0, "control side-channel duplicate probability")
+	trunc := flag.Float64("trunc", 0, "control side-channel truncation probability")
+	leaseTTL := flag.Float64("lease-ttl", 1.0, "spectrum lease TTL in seconds (0 disables expiry)")
+	crash := flag.String("crash", "", "comma-separated node crash events, each ID@seconds")
+	reboot := flag.String("reboot", "", "comma-separated node reboot events, each ID@seconds")
+	apRestart := flag.String("ap-restart", "", "AP restart as start@downFor seconds")
 	flag.Parse()
 
 	var w, h float64
@@ -36,6 +44,28 @@ func main() {
 	env := mmx.NewEnvironment(w, h, *seed)
 	apPose := mmx.Pose{X: 0.3, Y: h / 2, FacingRad: 0}
 	nw := env.NewNetwork(apPose, *seed+1)
+	nw.SetLeaseTTL(*leaseTTL, *leaseTTL*0.3)
+	if *drop > 0 || *dup > 0 || *trunc > 0 {
+		nw.SetLossyControl(*seed+2, *drop, *dup, *trunc)
+	}
+	plan := mmx.NewFaultPlan()
+	for _, ev := range parseEvents(*crash, "-crash") {
+		plan.Crash(ev.at, uint32(ev.id))
+	}
+	for _, ev := range parseEvents(*reboot, "-reboot") {
+		plan.Reboot(ev.at, uint32(ev.id))
+	}
+	if *apRestart != "" {
+		var start, downFor float64
+		if _, err := fmt.Sscanf(*apRestart, "%f@%f", &start, &downFor); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -ap-restart %q (want start@downFor)\n", *apRestart)
+			os.Exit(2)
+		}
+		plan.RestartAP(start, downFor)
+	}
+	if len(plan.Events) > 0 {
+		nw.SetFaultPlan(plan)
+	}
 
 	// Deterministic placement ring with varied orientations.
 	for i := 0; i < *nodes; i++ {
@@ -66,14 +96,42 @@ func main() {
 		*nodes, *duration, w, h, *blockers)
 	stats := nw.Run(*duration, 0.05, 10)
 
-	fmt.Printf("%-5s %-11s %-11s %-8s %-7s %-8s %-9s %-9s %-8s\n",
-		"node", "mean SINR", "min SINR", "sent", "lost", "dropped", "airtime", "delay", "outage")
+	fmt.Printf("%-5s %-11s %-11s %-8s %-7s %-8s %-8s %-9s %-9s %-8s\n",
+		"node", "mean SINR", "min SINR", "sent", "lost", "dropped", "outage#", "airtime", "delay", "outage")
 	for _, st := range stats.PerNode {
-		fmt.Printf("%-5d %-11.1f %-11.1f %-8d %-7d %-8d %-9.2f %-9.2g %-8.1f%%\n",
+		fmt.Printf("%-5d %-11.1f %-11.1f %-8d %-7d %-8d %-8d %-9.2f %-9.2g %-8.1f%%\n",
 			st.ID, st.MeanSINRdB, st.MinSINRdB, st.FramesSent, st.FramesLost,
-			st.FramesDropped, st.AirtimeFraction, st.MeanDelayS,
+			st.FramesDropped, st.FramesOutage, st.AirtimeFraction, st.MeanDelayS,
 			100*st.OutageFraction)
 	}
 	fmt.Printf("\naggregate goodput: %.1f Mbps (offered %.1f Mbps)\n",
 		stats.TotalGoodputBps()/1e6, float64(*nodes)**rateMbps)
+	c := stats.Control
+	if c != (mmx.ControlStats{}) {
+		fmt.Printf("control plane: %d renews (%d failed), %d rejoins, %d resyncs, %d lease expiries, %d promotions, %d crashes, %d reboots, %d AP restarts\n",
+			c.RenewsSent, c.RenewsFailed, c.Rejoins, c.Resyncs,
+			c.LeaseExpiries, c.Promotions, c.Crashes, c.Reboots, c.APRestarts)
+	}
+}
+
+type faultEvent struct {
+	id int
+	at float64
+}
+
+// parseEvents parses a comma-separated "ID@seconds" list.
+func parseEvents(spec, flagName string) []faultEvent {
+	if spec == "" {
+		return nil
+	}
+	var out []faultEvent
+	for _, part := range strings.Split(spec, ",") {
+		var ev faultEvent
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d@%f", &ev.id, &ev.at); err != nil || ev.id <= 0 {
+			fmt.Fprintf(os.Stderr, "bad %s entry %q (want ID@seconds)\n", flagName, part)
+			os.Exit(2)
+		}
+		out = append(out, ev)
+	}
+	return out
 }

@@ -18,12 +18,20 @@ import (
 // fastest first. The top step is the ADRF5020's 100 MHz toggle ceiling.
 var RateLadder = []float64{100e6, 50e6, 25e6, 10e6, 5e6, 2e6, 1e6, 500e3, 100e3}
 
-// snrAtRate rescales an evaluation's SNR from its configured bandwidth to
-// the bandwidth a given bit rate needs (noise power scales linearly with
-// bandwidth; signal power is unchanged).
-func snrAtRate(ev Evaluation, cfgBandwidth, rateBps float64) float64 {
-	bw := mac.BandwidthForRate(rateBps)
-	return ev.SNRWithOTAM + units.DB(cfgBandwidth/bw)
+// RateForSNR returns the fastest ladder rate a link with the given SNR
+// (measured in cfgBandwidthHz of noise bandwidth) sustains at the target
+// BER, or 0 if even the slowest rate cannot close the link. It is the
+// ladder walk of AdaptRate factored out so callers that already hold an
+// SNR — e.g. the network simulator's per-step SINR reports — can re-adapt
+// without re-enumerating propagation paths.
+func RateForSNR(snrDB, cfgBandwidthHz, targetBER float64) float64 {
+	required := modem.RequiredSNRForOOKBER(targetBER)
+	for _, rate := range RateLadder {
+		if snrDB+units.DB(cfgBandwidthHz/mac.BandwidthForRate(rate)) >= required {
+			return rate
+		}
+	}
+	return 0
 }
 
 // AdaptRate returns the fastest ladder rate whose SNR (at that rate's
@@ -31,13 +39,7 @@ func snrAtRate(ev Evaluation, cfgBandwidth, rateBps float64) float64 {
 // close the link.
 func (l *Link) AdaptRate(targetBER float64) float64 {
 	ev := l.Evaluate()
-	required := modem.RequiredSNRForOOKBER(targetBER)
-	for _, rate := range RateLadder {
-		if snrAtRate(ev, l.Cfg.BandwidthHz, rate) >= required {
-			return rate
-		}
-	}
-	return 0
+	return RateForSNR(ev.SNRWithOTAM, l.Cfg.BandwidthHz, targetBER)
 }
 
 // AchievableRate returns the continuous-valued rate (bps, capped at the

@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mmx/internal/stats"
+)
+
+// TestSideChannelDeterminism: two channels with the same seed produce the
+// same delivery sequence for the same call sequence.
+func TestSideChannelDeterminism(t *testing.T) {
+	mk := func() *SideChannel {
+		sc := Lossy(42, 0.3, 0.2, 0.1)
+		sc.DelayProb, sc.DelayMeanS = 0.5, 0.01
+		return sc
+	}
+	a, b := mk(), mk()
+	frame := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < 500; i++ {
+		da, db := a.Transmit(frame), b.Transmit(frame)
+		if !reflect.DeepEqual(da, db) {
+			t.Fatalf("call %d diverged: %v != %v", i, da, db)
+		}
+	}
+	if a.Drops != b.Drops || a.Dups != b.Dups || a.Truncs != b.Truncs {
+		t.Errorf("counters diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestSideChannelRates: observed loss rates track the configured
+// probabilities, and the failure modes actually occur.
+func TestSideChannelRates(t *testing.T) {
+	sc := Lossy(7, 0.3, 0.2, 0.15)
+	frame := make([]byte, 32)
+	const n = 20000
+	delivered, copies := 0, 0
+	for i := 0; i < n; i++ {
+		ds := sc.Transmit(frame)
+		if len(ds) > 0 {
+			delivered++
+		}
+		copies += len(ds)
+		for _, d := range ds {
+			if len(d.Frame) > len(frame) {
+				t.Fatal("truncation grew the frame")
+			}
+		}
+	}
+	if rate := float64(sc.Drops) / n; math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("drop rate = %.3f, want ≈0.30", rate)
+	}
+	if rate := float64(sc.Dups) / float64(delivered); math.Abs(rate-0.2) > 0.02 {
+		t.Errorf("dup rate = %.3f, want ≈0.20", rate)
+	}
+	if rate := float64(sc.Truncs) / float64(copies); math.Abs(rate-0.15) > 0.02 {
+		t.Errorf("trunc rate = %.3f, want ≈0.15", rate)
+	}
+}
+
+// TestNilSideChannelIsPerfect: a nil channel delivers exactly one intact,
+// undelayed copy — callers never special-case the reliable path.
+func TestNilSideChannelIsPerfect(t *testing.T) {
+	var sc *SideChannel
+	frame := []byte{9, 9, 9}
+	ds := sc.Transmit(frame)
+	if len(ds) != 1 || ds[0].DelayS != 0 || !reflect.DeepEqual(ds[0].Frame, frame) {
+		t.Fatalf("nil channel delivered %v", ds)
+	}
+}
+
+// TestBackoff: capped exponential growth, jitter bounded to ±Jitter.
+func TestBackoff(t *testing.T) {
+	b := Backoff{BaseS: 0.02, MaxS: 0.5, Factor: 2, Jitter: 0}
+	want := []float64{0.02, 0.04, 0.08, 0.16, 0.32, 0.5, 0.5}
+	for i, w := range want {
+		if got := b.Delay(i, nil); got != w {
+			t.Errorf("attempt %d: delay = %g, want %g", i, got, w)
+		}
+	}
+	b.Jitter = 0.25
+	rng := stats.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		d := b.Delay(2, rng)
+		if d < 0.08*0.75 || d > 0.08*1.25 {
+			t.Fatalf("jittered delay %g outside ±25%% of 0.08", d)
+		}
+	}
+}
+
+// TestPlanSorted: events come out in time order, stable on ties.
+func TestPlanSorted(t *testing.T) {
+	p := NewPlan().
+		Reboot(2.0, 5).
+		Crash(0.5, 5).
+		RestartAP(1.0, 0.2).
+		Crash(1.0, 6)
+	got := p.Sorted()
+	wantAt := []float64{0.5, 1.0, 1.0, 2.0}
+	for i, w := range wantAt {
+		if got[i].At != w {
+			t.Fatalf("sorted order = %+v", got)
+		}
+	}
+	// Same-instant events keep insertion order: AP restart before crash.
+	if got[1].Kind != APRestart || got[2].Kind != NodeCrash {
+		t.Errorf("tie order = %+v", got[1:3])
+	}
+	// Sorted must not mutate the plan.
+	if p.Events[0].Kind != NodeReboot {
+		t.Error("Sorted reordered the plan in place")
+	}
+}

@@ -1,0 +1,81 @@
+package mac
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzProto exercises the control-plane wire format with arbitrary
+// bytes — exactly what a truncating, corrupting side channel delivers.
+// Invariants:
+//
+//   - Unmarshal never panics; it either decodes or fails with
+//     ErrShortMessage / ErrUnknownType.
+//   - Encoding is a canonical fixed point: re-marshaling a decoded
+//     message and decoding that again yields byte-identical wire (the
+//     decoder may normalize — e.g. any nonzero bool byte reads as true —
+//     but only once).
+//   - A canonical encoding decodes back to wire that matches its own
+//     prefix of the input, so decode∘encode is the identity there.
+//   - Every strict prefix of a canonical encoding fails with
+//     ErrShortMessage, never a partial decode.
+//
+// Byte comparison (not struct equality) keeps NaN-valued float fields
+// honest: NaN != NaN but their encodings are bit-identical.
+func FuzzProto(f *testing.F) {
+	seeds := []any{
+		JoinRequest{NodeID: 1, Seq: 7, DemandBps: 100e6},
+		AssignmentMsg{NodeID: 2, Seq: 8, CenterHz: 24.05e9, WidthHz: 125e6, FSKOffsetHz: 6.25e6},
+		ReleaseMsg{NodeID: 3, Seq: 9},
+		RejectMsg{NodeID: 4, Seq: 10, ShareHz: 24.1e9, Harmonic: -3},
+		ShareConfirmMsg{NodeID: 5, Seq: 11, ShareHz: 24.1e9, WidthHz: 50e6, Harmonic: 2},
+		PromoteMsg{NodeID: 6, CenterHz: 24.2e9, WidthHz: 50e6, FSKOffsetHz: 2.5e6},
+		RenewMsg{NodeID: 7, Seq: 12},
+		RenewAckMsg{NodeID: 8, Seq: 13, CenterHz: 24.15e9, WidthHz: 25e6, FSKOffsetHz: 1.25e6, Harmonic: 1, Shared: true},
+		RenewNackMsg{NodeID: 9, Seq: 14},
+		AckMsg{NodeID: 10, Seq: 15},
+	}
+	for _, m := range seeds {
+		raw, err := Marshal(m)
+		if err != nil {
+			f.Fatalf("seed %T: %v", m, err)
+		}
+		f.Add(raw)
+		f.Add(raw[:len(raw)-1])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := Unmarshal(b)
+		if err != nil {
+			if err != ErrShortMessage && err != ErrUnknownType {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		re, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("decoded %T fails to re-marshal: %v", msg, err)
+		}
+		if len(re) > len(b) {
+			t.Fatalf("re-encode of %T is longer than its input: %d > %d", msg, len(re), len(b))
+		}
+		msg2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("canonical encoding of %T fails to decode: %v", msg, err)
+		}
+		re2, err := Marshal(msg2)
+		if err != nil {
+			t.Fatalf("re-decoded %T fails to re-marshal: %v", msg2, err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encoding of %T is not a fixed point:\n1st: %v\n2nd: %v", msg, re, re2)
+		}
+		for i := 0; i < len(re); i++ {
+			if _, err := Unmarshal(re[:i]); err != ErrShortMessage {
+				t.Fatalf("prefix %d/%d of %T: got %v, want ErrShortMessage", i, len(re), msg, err)
+			}
+		}
+	})
+}

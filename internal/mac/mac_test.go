@@ -247,10 +247,15 @@ func TestControllerGrantAndReject(t *testing.T) {
 	if rej2.Harmonic == rej.Harmonic {
 		t.Error("SDM slots should rotate")
 	}
-	// Release frees spectrum for a new join.
+	// Release frees spectrum for a new join and is acknowledged, so a
+	// node on a lossy channel can tell "done" from "lost".
 	raw, _ := Marshal(ReleaseMsg{NodeID: 1})
-	if reply, err := c.Handle(raw); err != nil || reply != nil {
-		t.Fatalf("release: %v %v", reply, err)
+	reply, err := c.Handle(raw)
+	if err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if msg, _ := Unmarshal(reply); msg != (AckMsg{NodeID: 1}) {
+		t.Fatalf("release reply = %v", msg)
 	}
 	if _, ok := ask(5, 100e6).(AssignmentMsg); !ok {
 		t.Error("join after release should be granted")
@@ -430,10 +435,25 @@ func TestControllerSharerLifecycle(t *testing.T) {
 		t.Fatal("sharer 2 not registered")
 	}
 
-	// The owner leaves: the widest sharer is promoted in place.
-	promote, ok := handle(ReleaseMsg{NodeID: 1}).(PromoteMsg)
+	// The owner leaves: the release is acked and the widest sharer's
+	// promotion is queued as an unsolicited push.
+	if _, ok := handle(ReleaseMsg{NodeID: 1}).(AckMsg); !ok {
+		t.Fatal("release should be acked")
+	}
+	notes := c.TakeNotifications()
+	if len(notes) != 1 {
+		t.Fatalf("release over live sharers should queue one promote, got %d", len(notes))
+	}
+	noteMsg, err := Unmarshal(notes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	promote, ok := noteMsg.(PromoteMsg)
 	if !ok {
-		t.Fatal("release over live sharers should promote")
+		t.Fatalf("queued push = %T, want PromoteMsg", noteMsg)
+	}
+	if len(c.TakeNotifications()) != 0 {
+		t.Error("TakeNotifications should drain the queue")
 	}
 	if promote.NodeID != 2 || promote.CenterHz != owner.CenterHz || promote.WidthHz != 100e6 {
 		t.Errorf("promotion = %+v", promote)
@@ -462,15 +482,18 @@ func TestControllerSharerLifecycle(t *testing.T) {
 	}
 
 	// A leaving sharer is struck from the registry without promotion.
-	if reply := handle(ReleaseMsg{NodeID: 3}); reply != nil {
-		t.Errorf("sharer release replied %v", reply)
+	if _, ok := handle(ReleaseMsg{NodeID: 3}).(AckMsg); !ok {
+		t.Error("sharer release should be acked")
 	}
 	if _, ok := c.SharerChannel(3); ok {
 		t.Error("sharer 3 still registered")
 	}
-	// Stale release stays a no-op.
-	if reply := handle(ReleaseMsg{NodeID: 99}); reply != nil {
-		t.Errorf("stale release replied %v", reply)
+	if len(c.TakeNotifications()) != 0 {
+		t.Error("sharer release should not queue a promotion")
+	}
+	// Stale release stays a no-op (but is still acked — idempotency).
+	if _, ok := handle(ReleaseMsg{NodeID: 99}).(AckMsg); !ok {
+		t.Error("stale release should be acked")
 	}
 }
 

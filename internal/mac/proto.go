@@ -4,14 +4,20 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sort"
 )
 
 // The initialization protocol (§4, §7a): before any mmWave transmission, a
 // node asks the AP for spectrum over a low-rate side channel (WiFi or
-// Bluetooth in the prototype) and receives its channel assignment. This
-// happens once; afterwards the node transmits autonomously. The wire
-// format is a fixed little-endian layout so the protocol can actually run
-// over any byte transport.
+// Bluetooth in the prototype) and receives its channel assignment. The
+// side channel is lossy in any real deployment, so the protocol is built
+// for retransmission: every request carries a node-scoped sequence
+// number, the controller is idempotent (a duplicate request re-sends the
+// original reply instead of corrupting state), and assignments are
+// time-limited leases kept alive by periodic renews — a node that crashes
+// without a Release loses its spectrum after one TTL instead of leaking
+// it forever. The wire format is a fixed little-endian layout so the
+// protocol can actually run over any byte transport.
 
 // MsgType tags a control message.
 type MsgType uint8
@@ -24,30 +30,41 @@ const (
 	MsgRelease
 	MsgShareConfirm
 	MsgPromote
+	MsgRenew
+	MsgRenewAck
+	MsgRenewNack
+	MsgAck
 )
 
 // JoinRequest is a node asking for a channel sized to its demand.
 type JoinRequest struct {
 	NodeID    uint32
+	Seq       uint32
 	DemandBps float64
 }
 
-// AssignmentMsg carries the AP's grant back to the node.
+// AssignmentMsg carries the AP's grant back to the node. Seq echoes the
+// request so the node can match replies to retransmitted requests.
 type AssignmentMsg struct {
 	NodeID      uint32
+	Seq         uint32
 	CenterHz    float64
 	WidthHz     float64
 	FSKOffsetHz float64
 }
 
 // ReleaseMsg returns a node's channel to the pool.
-type ReleaseMsg struct{ NodeID uint32 }
+type ReleaseMsg struct {
+	NodeID uint32
+	Seq    uint32
+}
 
 // RejectMsg tells a node no FDM spectrum is left; Harmonic is the SDM
 // harmonic slot it may share instead (negative values allowed), and
 // ShareHz the channel it should share.
 type RejectMsg struct {
 	NodeID  uint32
+	Seq     uint32
 	ShareHz float64
 	// Harmonic is encoded as a signed 8-bit value.
 	Harmonic int8
@@ -61,6 +78,7 @@ type RejectMsg struct {
 // bug. WidthHz is the sharer's occupied width; Harmonic its TMA slot.
 type ShareConfirmMsg struct {
 	NodeID  uint32
+	Seq     uint32
 	ShareHz float64
 	WidthHz float64
 	// Harmonic is encoded as a signed 8-bit value.
@@ -70,12 +88,49 @@ type ShareConfirmMsg struct {
 // PromoteMsg tells a former SDM sharer it now exclusively owns (part of)
 // the channel it was sharing: its previous host released the channel and
 // the AP promoted the sharer rather than returning spectrum that is still
-// spatially occupied to the free pool.
+// spatially occupied to the free pool. It is unsolicited (an AP push, not
+// a reply), so it carries no sequence number; a lost promote is repaired
+// by the node's next renew, whose ack carries the same books.
 type PromoteMsg struct {
 	NodeID      uint32
 	CenterHz    float64
 	WidthHz     float64
 	FSKOffsetHz float64
+}
+
+// RenewMsg is a node's periodic lease keepalive.
+type RenewMsg struct {
+	NodeID uint32
+	Seq    uint32
+}
+
+// RenewAckMsg confirms a live lease and carries the AP's current books
+// for the node — center, width, FSK offset and whether the node is an
+// SDM sharer — so a node whose PromoteMsg (or any earlier reply) was
+// lost re-synchronizes on its next keepalive.
+type RenewAckMsg struct {
+	NodeID      uint32
+	Seq         uint32
+	CenterHz    float64
+	WidthHz     float64
+	FSKOffsetHz float64
+	Harmonic    int8
+	Shared      bool
+}
+
+// RenewNackMsg tells a node the AP holds no lease for it — its lease
+// expired or the AP restarted — and it must rejoin from scratch.
+type RenewNackMsg struct {
+	NodeID uint32
+	Seq    uint32
+}
+
+// AckMsg is the generic positive reply to requests that change state but
+// return no payload (Release, ShareConfirm): without it a lossy channel
+// cannot distinguish "request lost" from "done".
+type AckMsg struct {
+	NodeID uint32
+	Seq    uint32
 }
 
 // Marshal errors.
@@ -92,30 +147,32 @@ func readF64(b []byte) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
-// Marshal encodes any of the four control messages.
+// header starts an encoding with the type tag, node ID and sequence
+// number every sequenced message opens with.
+func header(t MsgType, node, seq uint32) []byte {
+	b := []byte{byte(t)}
+	b = binary.LittleEndian.AppendUint32(b, node)
+	return binary.LittleEndian.AppendUint32(b, seq)
+}
+
+// Marshal encodes any control message.
 func Marshal(msg any) ([]byte, error) {
 	switch m := msg.(type) {
 	case JoinRequest:
-		b := []byte{byte(MsgJoinRequest)}
-		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
-		return appendF64(b, m.DemandBps), nil
+		return appendF64(header(MsgJoinRequest, m.NodeID, m.Seq), m.DemandBps), nil
 	case AssignmentMsg:
-		b := []byte{byte(MsgAssignment)}
-		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
+		b := header(MsgAssignment, m.NodeID, m.Seq)
 		b = appendF64(b, m.CenterHz)
 		b = appendF64(b, m.WidthHz)
 		return appendF64(b, m.FSKOffsetHz), nil
 	case ReleaseMsg:
-		b := []byte{byte(MsgRelease)}
-		return binary.LittleEndian.AppendUint32(b, m.NodeID), nil
+		return header(MsgRelease, m.NodeID, m.Seq), nil
 	case RejectMsg:
-		b := []byte{byte(MsgReject)}
-		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
+		b := header(MsgReject, m.NodeID, m.Seq)
 		b = appendF64(b, m.ShareHz)
 		return append(b, byte(m.Harmonic)), nil
 	case ShareConfirmMsg:
-		b := []byte{byte(MsgShareConfirm)}
-		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
+		b := header(MsgShareConfirm, m.NodeID, m.Seq)
 		b = appendF64(b, m.ShareHz)
 		b = appendF64(b, m.WidthHz)
 		return append(b, byte(m.Harmonic)), nil
@@ -125,72 +182,157 @@ func Marshal(msg any) ([]byte, error) {
 		b = appendF64(b, m.CenterHz)
 		b = appendF64(b, m.WidthHz)
 		return appendF64(b, m.FSKOffsetHz), nil
+	case RenewMsg:
+		return header(MsgRenew, m.NodeID, m.Seq), nil
+	case RenewAckMsg:
+		b := header(MsgRenewAck, m.NodeID, m.Seq)
+		b = appendF64(b, m.CenterHz)
+		b = appendF64(b, m.WidthHz)
+		b = appendF64(b, m.FSKOffsetHz)
+		b = append(b, byte(m.Harmonic))
+		shared := byte(0)
+		if m.Shared {
+			shared = 1
+		}
+		return append(b, shared), nil
+	case RenewNackMsg:
+		return header(MsgRenewNack, m.NodeID, m.Seq), nil
+	case AckMsg:
+		return header(MsgAck, m.NodeID, m.Seq), nil
 	default:
 		return nil, ErrUnknownType
 	}
 }
 
-// Unmarshal decodes a control message produced by Marshal.
+// Unmarshal decodes a control message produced by Marshal. Truncated
+// input of a known type returns ErrShortMessage; trailing bytes beyond a
+// message's fixed length are ignored.
 func Unmarshal(b []byte) (any, error) {
 	if len(b) < 1 {
 		return nil, ErrShortMessage
 	}
+	node := func() uint32 { return binary.LittleEndian.Uint32(b[1:]) }
+	seq := func() uint32 { return binary.LittleEndian.Uint32(b[5:]) }
 	switch MsgType(b[0]) {
 	case MsgJoinRequest:
-		if len(b) < 1+4+8 {
+		if len(b) < 1+8+8 {
 			return nil, ErrShortMessage
 		}
-		return JoinRequest{
-			NodeID:    binary.LittleEndian.Uint32(b[1:]),
-			DemandBps: readF64(b[5:]),
-		}, nil
+		return JoinRequest{NodeID: node(), Seq: seq(), DemandBps: readF64(b[9:])}, nil
 	case MsgAssignment:
-		if len(b) < 1+4+24 {
+		if len(b) < 1+8+24 {
 			return nil, ErrShortMessage
 		}
 		return AssignmentMsg{
-			NodeID:      binary.LittleEndian.Uint32(b[1:]),
-			CenterHz:    readF64(b[5:]),
-			WidthHz:     readF64(b[13:]),
-			FSKOffsetHz: readF64(b[21:]),
+			NodeID:      node(),
+			Seq:         seq(),
+			CenterHz:    readF64(b[9:]),
+			WidthHz:     readF64(b[17:]),
+			FSKOffsetHz: readF64(b[25:]),
 		}, nil
 	case MsgRelease:
-		if len(b) < 1+4 {
+		if len(b) < 1+8 {
 			return nil, ErrShortMessage
 		}
-		return ReleaseMsg{NodeID: binary.LittleEndian.Uint32(b[1:])}, nil
+		return ReleaseMsg{NodeID: node(), Seq: seq()}, nil
 	case MsgReject:
-		if len(b) < 1+4+8+1 {
+		if len(b) < 1+8+8+1 {
 			return nil, ErrShortMessage
 		}
 		return RejectMsg{
-			NodeID:   binary.LittleEndian.Uint32(b[1:]),
-			ShareHz:  readF64(b[5:]),
-			Harmonic: int8(b[13]),
+			NodeID:   node(),
+			Seq:      seq(),
+			ShareHz:  readF64(b[9:]),
+			Harmonic: int8(b[17]),
 		}, nil
 	case MsgShareConfirm:
-		if len(b) < 1+4+16+1 {
+		if len(b) < 1+8+16+1 {
 			return nil, ErrShortMessage
 		}
 		return ShareConfirmMsg{
-			NodeID:   binary.LittleEndian.Uint32(b[1:]),
-			ShareHz:  readF64(b[5:]),
-			WidthHz:  readF64(b[13:]),
-			Harmonic: int8(b[21]),
+			NodeID:   node(),
+			Seq:      seq(),
+			ShareHz:  readF64(b[9:]),
+			WidthHz:  readF64(b[17:]),
+			Harmonic: int8(b[25]),
 		}, nil
 	case MsgPromote:
 		if len(b) < 1+4+24 {
 			return nil, ErrShortMessage
 		}
 		return PromoteMsg{
-			NodeID:      binary.LittleEndian.Uint32(b[1:]),
+			NodeID:      node(),
 			CenterHz:    readF64(b[5:]),
 			WidthHz:     readF64(b[13:]),
 			FSKOffsetHz: readF64(b[21:]),
 		}, nil
+	case MsgRenew:
+		if len(b) < 1+8 {
+			return nil, ErrShortMessage
+		}
+		return RenewMsg{NodeID: node(), Seq: seq()}, nil
+	case MsgRenewAck:
+		if len(b) < 1+8+24+2 {
+			return nil, ErrShortMessage
+		}
+		return RenewAckMsg{
+			NodeID:      node(),
+			Seq:         seq(),
+			CenterHz:    readF64(b[9:]),
+			WidthHz:     readF64(b[17:]),
+			FSKOffsetHz: readF64(b[25:]),
+			Harmonic:    int8(b[33]),
+			Shared:      b[34] != 0,
+		}, nil
+	case MsgRenewNack:
+		if len(b) < 1+8 {
+			return nil, ErrShortMessage
+		}
+		return RenewNackMsg{NodeID: node(), Seq: seq()}, nil
+	case MsgAck:
+		if len(b) < 1+8 {
+			return nil, ErrShortMessage
+		}
+		return AckMsg{NodeID: node(), Seq: seq()}, nil
 	default:
 		return nil, ErrUnknownType
 	}
+}
+
+// RequestIdent returns the (node, seq) identity of a node→AP request.
+// ok is false for message types that are not requests.
+func RequestIdent(msg any) (node, seq uint32, ok bool) {
+	switch m := msg.(type) {
+	case JoinRequest:
+		return m.NodeID, m.Seq, true
+	case ReleaseMsg:
+		return m.NodeID, m.Seq, true
+	case ShareConfirmMsg:
+		return m.NodeID, m.Seq, true
+	case RenewMsg:
+		return m.NodeID, m.Seq, true
+	}
+	return 0, 0, false
+}
+
+// ReplyIdent returns the (node, seq) identity a reply echoes, so the
+// node-side retry machine can match replies to the request attempt they
+// answer and discard stale duplicates. ok is false for unsolicited
+// messages (PromoteMsg) and requests.
+func ReplyIdent(msg any) (node, seq uint32, ok bool) {
+	switch m := msg.(type) {
+	case AssignmentMsg:
+		return m.NodeID, m.Seq, true
+	case RejectMsg:
+		return m.NodeID, m.Seq, true
+	case RenewAckMsg:
+		return m.NodeID, m.Seq, true
+	case RenewNackMsg:
+		return m.NodeID, m.Seq, true
+	case AckMsg:
+		return m.NodeID, m.Seq, true
+	}
+	return 0, 0, false
 }
 
 // Sharer is one confirmed SDM occupant of a channel, as recorded by the
@@ -207,6 +349,21 @@ type Sharer struct {
 // the SDM sharer registry that makes spectrum release churn-safe: a
 // channel whose FDM owner leaves is not returned to the free pool while
 // sharers still occupy it — instead one sharer is promoted to owner.
+//
+// The controller is transactional against a lossy side channel:
+//
+//   - Requests are idempotent. A retransmitted JoinRequest from a node
+//     that already holds spectrum re-sends its existing grant (or its
+//     recorded share slot); duplicate Release, ShareConfirm and Renew
+//     are harmless.
+//   - Exact duplicates (same node and sequence number) short-circuit to
+//     a cached copy of the original reply, so even non-idempotent future
+//     request types stay retry-safe.
+//   - Assignments are leases. When LeaseTTL > 0, a node that has not
+//     renewed within the TTL is expired by ExpireLeases and its spectrum
+//     reclaimed through the same churn-safe release path a voluntary
+//     Release takes — sharers of an expired owner are promoted, never
+//     stranded.
 type Controller struct {
 	Alloc *Allocator
 	// nextHarmonic round-robins SDM slots handed to rejected nodes.
@@ -216,22 +373,68 @@ type Controller struct {
 	nextShare int
 	// MaxHarmonic bounds the SDM slots (± the AP TMA's usable range).
 	MaxHarmonic int
+	// LeaseTTL is how long an assignment survives without a renew; 0
+	// disables expiry (leases then live until released).
+	LeaseTTL float64
 	// sharers lists the confirmed SDM occupants per channel, keyed by the
 	// exact center frequency the sharer confirmed (centers are copied
 	// verbatim from assignments, so float equality is exact).
 	sharers map[float64][]Sharer
 	// shareOf maps a sharer's node ID to the channel center it confirmed.
 	shareOf map[uint32]float64
+	// renewedAt records each leaseholder's last contact time.
+	renewedAt map[uint32]float64
+	// lastSeq/lastReply implement exact-duplicate suppression: the last
+	// non-zero sequence number each node sent, and the reply it got.
+	lastSeq   map[uint32]uint32
+	lastReply map[uint32][]byte
+	// pending holds unsolicited AP→node pushes (PromoteMsg) produced as
+	// side effects of releases, drained by TakeNotifications.
+	pending [][]byte
+	// now is the controller's monotonic clock, advanced by HandleAt and
+	// ExpireLeases.
+	now float64
 }
 
 // NewController builds the AP-side protocol handler over a band.
 func NewController(band Band) *Controller {
-	return &Controller{
-		Alloc:       NewAllocator(band),
-		MaxHarmonic: 4,
-		sharers:     make(map[float64][]Sharer),
-		shareOf:     make(map[uint32]float64),
-	}
+	c := &Controller{MaxHarmonic: 4}
+	c.Alloc = NewAllocator(band)
+	c.resetState()
+	return c
+}
+
+func (c *Controller) resetState() {
+	c.sharers = make(map[float64][]Sharer)
+	c.shareOf = make(map[uint32]float64)
+	c.renewedAt = make(map[uint32]float64)
+	c.lastSeq = make(map[uint32]uint32)
+	c.lastReply = make(map[uint32][]byte)
+	c.pending = nil
+}
+
+// Restart models an AP reboot: every volatile book — allocations, sharer
+// registry, leases, duplicate-suppression cache — is lost. The clock and
+// configuration survive. Nodes discover the restart when their next
+// renew is nacked, and rejoin from scratch.
+func (c *Controller) Restart() {
+	old := c.Alloc
+	c.Alloc = NewAllocator(old.band)
+	c.Alloc.Policy = old.Policy
+	c.Alloc.FSKFraction = old.FSKFraction
+	c.resetState()
+}
+
+// NowS returns the controller's clock (the latest time it has seen).
+func (c *Controller) NowS() float64 { return c.now }
+
+// touch marks nodeID's lease as renewed at the controller's clock.
+func (c *Controller) touch(nodeID uint32) { c.renewedAt[nodeID] = c.now }
+
+// HoldsLease reports whether nodeID currently holds a live lease.
+func (c *Controller) HoldsLease(nodeID uint32) bool {
+	_, ok := c.renewedAt[nodeID]
+	return ok
 }
 
 // SharerChannel reports whether nodeID is a registered SDM sharer and, if
@@ -282,8 +485,8 @@ func (c *Controller) removeSharer(nodeID uint32, centerHz float64) {
 // with the live sharers. Instead the widest sharer (the demand best
 // matched to the freed channel; its extent then covers every remaining
 // narrower sharer, which all sit at the same center) is promoted to owner
-// of the spectrum it already occupies, and the reply carries a PromoteMsg
-// so the node side can flip the sharer to exclusive operation.
+// of the spectrum it already occupies, and the encoded PromoteMsg push is
+// returned so the caller can queue it for the promoted node.
 func (c *Controller) release(nodeID uint32) ([]byte, error) {
 	if center, ok := c.shareOf[nodeID]; ok {
 		c.removeSharer(nodeID, center)
@@ -328,20 +531,114 @@ func (c *Controller) release(nodeID uint32) ([]byte, error) {
 	})
 }
 
-// Handle processes one encoded control message and returns the encoded
-// reply (nil for ShareConfirm and for Release, unless the release promotes
-// a sharer, in which case the reply is a PromoteMsg).
+// TakeNotifications drains the queued unsolicited AP→node pushes
+// (PromoteMsg frames) produced by releases and lease expiries. The
+// caller delivers them over the side channel; a lost push is repaired by
+// the target node's next RenewAck.
+func (c *Controller) TakeNotifications() [][]byte {
+	p := c.pending
+	c.pending = nil
+	return p
+}
+
+// ExpireLeases reclaims the spectrum of every leaseholder silent for
+// longer than LeaseTTL as of now. Expired owners go through the same
+// churn-safe release path as voluntary leavers, so sharers of a dead
+// owner are promoted (the PromoteMsg pushes are queued alongside the
+// returned IDs). Expiry order is ascending node ID, making crash storms
+// bit-reproducible. It returns the expired node IDs.
+func (c *Controller) ExpireLeases(now float64) []uint32 {
+	if now > c.now {
+		c.now = now
+	}
+	if c.LeaseTTL <= 0 {
+		return nil
+	}
+	var expired []uint32
+	for id, at := range c.renewedAt {
+		if c.now-at > c.LeaseTTL {
+			expired = append(expired, id)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		note, _ := c.release(id)
+		if len(note) > 0 {
+			c.pending = append(c.pending, note)
+		}
+		delete(c.renewedAt, id)
+		delete(c.lastSeq, id)
+		delete(c.lastReply, id)
+	}
+	return expired
+}
+
+// Handle processes one encoded control message at the controller's
+// current clock and returns the encoded reply. See HandleAt.
 func (c *Controller) Handle(raw []byte) ([]byte, error) {
+	return c.HandleAt(raw, c.now)
+}
+
+// HandleAt processes one encoded control message arriving at time now.
+// Every request gets a reply (Assignment/Reject for joins, RenewAck/Nack
+// for renews, Ack for releases and share confirms); promotion pushes are
+// queued for TakeNotifications rather than returned, because they are
+// addressed to a different node than the sender.
+func (c *Controller) HandleAt(raw []byte, now float64) ([]byte, error) {
+	if now > c.now {
+		c.now = now
+	}
 	msg, err := Unmarshal(raw)
 	if err != nil {
 		return nil, err
 	}
+	if node, seq, ok := RequestIdent(msg); ok && seq != 0 && c.lastSeq[node] == seq {
+		// Exact retransmission of the last request: re-send the original
+		// reply without re-executing anything.
+		return append([]byte(nil), c.lastReply[node]...), nil
+	}
+	reply, err := c.handle(msg)
+	if err == nil {
+		if node, seq, ok := RequestIdent(msg); ok && seq != 0 {
+			c.lastSeq[node] = seq
+			c.lastReply[node] = append([]byte(nil), reply...)
+		}
+	}
+	return reply, err
+}
+
+func (c *Controller) handle(msg any) ([]byte, error) {
 	switch m := msg.(type) {
 	case JoinRequest:
-		asg, err := c.Alloc.Allocate(m.NodeID, m.DemandBps)
-		if err == nil {
+		// Idempotent re-grant: a node the books already know asked
+		// again, which means the original reply was lost. Re-send its
+		// standing state instead of ErrAlreadyAllocated.
+		if asg, ok := c.Alloc.Lookup(m.NodeID); ok {
+			c.touch(m.NodeID)
 			return Marshal(AssignmentMsg{
 				NodeID:      m.NodeID,
+				Seq:         m.Seq,
+				CenterHz:    asg.CenterHz,
+				WidthHz:     asg.WidthHz,
+				FSKOffsetHz: asg.FSKOffsetHz,
+			})
+		}
+		if center, ok := c.shareOf[m.NodeID]; ok {
+			h := int8(0)
+			for _, s := range c.sharers[center] {
+				if s.NodeID == m.NodeID {
+					h = s.Harmonic
+				}
+			}
+			c.touch(m.NodeID)
+			return Marshal(RejectMsg{NodeID: m.NodeID, Seq: m.Seq, ShareHz: center, Harmonic: h})
+		}
+		asg, err := c.Alloc.Allocate(m.NodeID, m.DemandBps)
+		if err == nil {
+			c.touch(m.NodeID)
+			return Marshal(AssignmentMsg{
+				NodeID:      m.NodeID,
+				Seq:         m.Seq,
 				CenterHz:    asg.CenterHz,
 				WidthHz:     asg.WidthHz,
 				FSKOffsetHz: asg.FSKOffsetHz,
@@ -350,7 +647,8 @@ func (c *Controller) Handle(raw []byte) ([]byte, error) {
 		if errors.Is(err, ErrBandFull) {
 			// Fall back to SDM: spread overflow nodes across existing
 			// channels round-robin, each on a rotating harmonic, so no
-			// single channel absorbs all the spatial reuse.
+			// single channel absorbs all the spatial reuse. The lease
+			// starts when the node confirms its placement.
 			share := c.Alloc.band.LowHz + BandwidthForRate(m.DemandBps)/2
 			if got := c.Alloc.Assignments(); len(got) > 0 {
 				share = got[c.nextShare%len(got)].CenterHz
@@ -361,14 +659,54 @@ func (c *Controller) Handle(raw []byte) ([]byte, error) {
 				h = -h
 			}
 			c.nextHarmonic++
-			return Marshal(RejectMsg{NodeID: m.NodeID, ShareHz: share, Harmonic: int8(h)})
+			return Marshal(RejectMsg{NodeID: m.NodeID, Seq: m.Seq, ShareHz: share, Harmonic: int8(h)})
 		}
 		return nil, err
 	case ShareConfirmMsg:
 		c.confirmShare(m)
-		return nil, nil
+		c.touch(m.NodeID)
+		return Marshal(AckMsg{NodeID: m.NodeID, Seq: m.Seq})
 	case ReleaseMsg:
-		return c.release(m.NodeID)
+		note, err := c.release(m.NodeID)
+		if err != nil {
+			return nil, err
+		}
+		if len(note) > 0 {
+			c.pending = append(c.pending, note)
+		}
+		delete(c.renewedAt, m.NodeID)
+		return Marshal(AckMsg{NodeID: m.NodeID, Seq: m.Seq})
+	case RenewMsg:
+		if asg, ok := c.Alloc.Lookup(m.NodeID); ok {
+			c.touch(m.NodeID)
+			return Marshal(RenewAckMsg{
+				NodeID:      m.NodeID,
+				Seq:         m.Seq,
+				CenterHz:    asg.CenterHz,
+				WidthHz:     asg.WidthHz,
+				FSKOffsetHz: asg.FSKOffsetHz,
+				Shared:      false,
+			})
+		}
+		if center, ok := c.shareOf[m.NodeID]; ok {
+			var s Sharer
+			for _, occ := range c.sharers[center] {
+				if occ.NodeID == m.NodeID {
+					s = occ
+				}
+			}
+			c.touch(m.NodeID)
+			return Marshal(RenewAckMsg{
+				NodeID:      m.NodeID,
+				Seq:         m.Seq,
+				CenterHz:    center,
+				WidthHz:     s.WidthHz,
+				FSKOffsetHz: s.WidthHz * c.Alloc.FSKFraction,
+				Harmonic:    s.Harmonic,
+				Shared:      true,
+			})
+		}
+		return Marshal(RenewNackMsg{NodeID: m.NodeID, Seq: m.Seq})
 	default:
 		return nil, ErrUnknownType
 	}

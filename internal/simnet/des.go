@@ -3,6 +3,9 @@ package simnet
 import (
 	"container/heap"
 	"math"
+
+	"mmx/internal/core"
+	"mmx/internal/faults"
 )
 
 // event is one scheduled simulation action.
@@ -82,7 +85,11 @@ type NodeStats struct {
 	FramesLost int
 	// FramesDropped counts queue overflows: the node's adapted PHY rate
 	// could not drain the offered load within the backlog bound.
-	FramesDropped  int
+	FramesDropped int
+	// FramesOutage counts frames discarded because the node's adapted
+	// rate was 0 — no ladder step closes the link — so transmitting
+	// would only burn energy.
+	FramesOutage   int
 	BitsDelivered  float64
 	MinSINRdB      float64
 	MeanSINRdB     float64
@@ -101,10 +108,36 @@ type NodeStats struct {
 	delayed    int
 }
 
+// ControlStats counts the fault-tolerant control plane's work during a
+// run: keepalives, lease churn and injected failures. All fields are
+// plain counters so two runs can be compared for bit-identity.
+type ControlStats struct {
+	// RenewsSent counts keepalive cycles attempted by live nodes.
+	RenewsSent int
+	// RenewsFailed counts cycles where every retry died on the side
+	// channel (or failed to rejoin after a nack) — the node kept
+	// transmitting on its last-known assignment.
+	RenewsFailed int
+	// Rejoins counts renew-nacks healed through a full re-handshake.
+	Rejoins int
+	// Resyncs counts renew-acks whose books disagreed with the node —
+	// a lost PromoteMsg or post-restart reallocation the ack repaired.
+	Resyncs int
+	// LeaseExpiries counts leases the controller reclaimed after their
+	// holders fell silent.
+	LeaseExpiries int
+	// Promotions counts PromoteMsg pushes a live node actually applied.
+	Promotions int
+	// Crashes, Reboots and APRestarts count executed FaultPlan events.
+	Crashes, Reboots, APRestarts int
+}
+
 // RunStats summarizes a network run.
 type RunStats struct {
 	Duration float64
 	PerNode  []NodeStats
+	// Control summarizes the control plane's fault handling.
+	Control ControlStats
 }
 
 // TotalGoodputBps returns the aggregate delivered rate.
@@ -124,12 +157,24 @@ func (r RunStats) TotalGoodputBps() float64 {
 // is delivered with probability (1−BER)^bits at the node's instantaneous
 // SINR. SINR below outageSINRdB counts as an outage sample.
 //
+// The control plane runs alongside the data plane: every node renews its
+// spectrum lease each Control.RenewIntervalS, the controller expires the
+// leases of nodes that fell silent (reclaiming their spectrum through the
+// churn-safe promote path), and an installed faults.Plan injects node
+// crash/reboot and AP restart events mid-run. Each environment step also
+// re-adapts every live node's PHY rate to the fresh interference picture,
+// so a blockage-driven SINR collapse downshifts the ladder in-run — or
+// marks the node in outage (rate 0) until the blocker clears. Everything
+// is driven by seeded RNGs, so a run is a pure function of (seed,
+// SideChannel seed, Plan).
+//
 // Run indexes nodes and their report slots from the node list captured at
 // start, so membership churn mid-run would silently misattribute traffic
 // and stats. Join and Leave therefore panic while Run executes (including
 // from traffic-model callbacks); drive churn between runs — spectrum
 // state carries over. MoveNode and blocker motion remain safe: they
-// change link geometry, not membership.
+// change link geometry, not membership. FaultPlan crash/reboot is not
+// churn: the node stays in the list, only its Down flag flips.
 func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 	if nw.running {
 		panic("simnet: Run is not reentrant")
@@ -137,6 +182,13 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 	nw.running = true
 	defer func() { nw.running = false }()
 	sim := NewSim()
+	// The controller's monotonic clock may already sit past zero (lossy
+	// pre-run handshakes consume virtual time), while sim restarts at
+	// zero every Run: anchor lease timing to the controller's now.
+	base := nw.Controller.NowS()
+	ctrlNow := func() float64 { return base + sim.Now() }
+	nw.Controller.LeaseTTL = nw.Control.LeaseTTLS
+	var ctl ControlStats
 	stats := make([]NodeStats, len(nw.Nodes))
 	index := make(map[uint32]int, len(nw.Nodes))
 	for i, n := range nw.Nodes {
@@ -144,10 +196,15 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 		index[n.ID] = i
 	}
 
-	// Cached per-node reports, refreshed on every environment step.
+	// Cached per-node reports, refreshed on every environment step and
+	// after control-plane events that change assignments.
 	reports := nw.EvaluateSINR()
+	refresh := func() { reports = nw.EvaluateSINR() }
 	observe := func() {
 		for i, r := range reports {
+			if nw.Nodes[i].Down {
+				continue // a dead radio has no SINR to sample
+			}
 			st := &stats[i]
 			st.sinrAccum += r.SINRdB
 			st.sinrSamples++
@@ -164,12 +221,112 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 	var envTick func()
 	envTick = func() {
 		nw.Env.Step(envStep)
-		reports = nw.EvaluateSINR()
+		refresh()
+		// In-run rate adaptation: the reports hold each node's SINR in
+		// its configured channel bandwidth, exactly what the ladder walk
+		// wants. Rate 0 = outage until a later step clears it.
+		for i, n := range nw.Nodes {
+			if n.Down {
+				continue
+			}
+			n.RateBps = nw.cappedRate(n, core.RateForSNR(reports[i].SINRdB, n.Link.Cfg.BandwidthHz, 1e-6))
+		}
 		observe()
 		sim.After(envStep, envTick)
 	}
 	if envStep > 0 {
 		sim.After(envStep, envTick)
+	}
+
+	// Scheduled fault injection.
+	if nw.Faults != nil {
+		for _, fe := range nw.Faults.Sorted() {
+			fe := fe
+			switch fe.Kind {
+			case faults.NodeCrash:
+				sim.At(fe.At, func() {
+					if i, ok := index[fe.NodeID]; ok && !nw.Nodes[i].Down {
+						nw.Nodes[i].Down = true
+						ctl.Crashes++
+						refresh()
+					}
+				})
+			case faults.NodeReboot:
+				sim.At(fe.At, func() {
+					i, ok := index[fe.NodeID]
+					if !ok || !nw.Nodes[i].Down {
+						return
+					}
+					n := nw.Nodes[i]
+					ctl.Reboots++
+					// Rejoin through the full lossy handshake; if its
+					// old lease survived, the AP idempotently re-grants
+					// the same spectrum. A handshake that dies entirely
+					// leaves the node down until the plan retries.
+					if _, err := nw.handshake(n, ctrlNow()); err != nil {
+						return
+					}
+					n.Down = false
+					nw.applyAssignment(n)
+					nw.invalidateCoupling()
+					refresh()
+				})
+			case faults.APRestart:
+				sim.At(fe.At, func() {
+					nw.apDown = true
+					ctl.APRestarts++
+				})
+				sim.At(fe.At+fe.DownFor, func() {
+					// The AP returns with empty volatile books; nodes
+					// keep transmitting on last-known assignments and
+					// re-sync via renew-nack → rejoin.
+					nw.apDown = false
+					nw.Controller.Restart()
+				})
+			}
+		}
+	}
+
+	// Lease keepalive cycle: renew the living, then expire the silent.
+	// Renewing first matters: pre-run lossy handshakes consume virtual
+	// controller time, so an early joiner's last contact can already be
+	// older than the TTL when Run starts — its first renew must land
+	// before the expiry check, not after.
+	var renewTick func()
+	renewTick = func() {
+		changed := false
+		for _, n := range nw.Nodes {
+			if n.Down {
+				continue
+			}
+			ctl.RenewsSent++
+			switch nw.renewOnce(n, ctrlNow()) {
+			case renewResynced:
+				ctl.Resyncs++
+				changed = true
+			case renewRejoined:
+				ctl.Rejoins++
+				changed = true
+			case renewLost, renewFailed:
+				ctl.RenewsFailed++
+			}
+		}
+		expired := nw.Controller.ExpireLeases(ctrlNow())
+		ctl.LeaseExpiries += len(expired)
+		if len(expired) > 0 {
+			// Reclaimed spectrum may promote surviving sharers; the
+			// pushes ride the same lossy side channel, and a lost one
+			// is repaired by the promoted node's next renew ack.
+			ctl.Promotions += nw.pushNotifications(false)
+			changed = true
+		}
+		if changed {
+			refresh()
+		}
+		sim.After(nw.Control.RenewIntervalS, renewTick)
+	}
+	if nw.Control.RenewIntervalS > 0 {
+		sim.After(nw.Control.RenewIntervalS, renewTick)
 	}
 
 	// Per-node transmitter occupancy for airtime/queueing accounting.
@@ -181,33 +338,37 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 		delay, payload := n.Traffic.Next(nw.rng)
 		sim.After(delay, func() {
 			i := index[n.ID]
-			if payload > 0 {
+			if payload > 0 && !n.Down {
 				bits := float64(8 * payload)
 				rate := n.RateBps
-				if rate <= 0 {
-					rate = n.Demand
-				}
-				airtime := bits / rate
-				now := sim.Now()
-				if busyUntil[i] < now {
-					busyUntil[i] = now
-				}
-				queue := busyUntil[i] - now
 				stats[i].FramesSent++
-				if queue > maxBacklogS {
-					// The adapted rate cannot drain the offered load.
-					stats[i].FramesDropped++
+				if rate <= 0 {
+					// Outage: no ladder step closes the link, so the
+					// frame is discarded instead of transmitted at a
+					// hopeless rate.
+					stats[i].FramesOutage++
 				} else {
-					busyUntil[i] += airtime
-					stats[i].airtime += airtime
-					stats[i].delayAccum += queue + airtime
-					stats[i].delayed++
-					ber := reports[i].BER
-					pSuccess := math.Pow(1-ber, bits)
-					if nw.rng.Float64() < pSuccess {
-						stats[i].BitsDelivered += bits
+					airtime := bits / rate
+					now := sim.Now()
+					if busyUntil[i] < now {
+						busyUntil[i] = now
+					}
+					queue := busyUntil[i] - now
+					if queue > maxBacklogS {
+						// The adapted rate cannot drain the offered load.
+						stats[i].FramesDropped++
 					} else {
-						stats[i].FramesLost++
+						busyUntil[i] += airtime
+						stats[i].airtime += airtime
+						stats[i].delayAccum += queue + airtime
+						stats[i].delayed++
+						ber := reports[i].BER
+						pSuccess := math.Pow(1-ber, bits)
+						if nw.rng.Float64() < pSuccess {
+							stats[i].BitsDelivered += bits
+						} else {
+							stats[i].FramesLost++
+						}
 					}
 				}
 			}
@@ -232,5 +393,5 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 			stats[i].MeanDelayS = stats[i].delayAccum / float64(stats[i].delayed)
 		}
 	}
-	return RunStats{Duration: duration, PerNode: stats}
+	return RunStats{Duration: duration, PerNode: stats, Control: ctl}
 }

@@ -1,0 +1,283 @@
+package simnet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mmx/internal/channel"
+	"mmx/internal/faults"
+	"mmx/internal/mac"
+	"mmx/internal/stats"
+)
+
+// lossyTestNetwork builds a network whose control side channel drops,
+// duplicates and truncates frames at the given rates.
+func lossyTestNetwork(seed uint64, drop, dup, trunc float64) *Network {
+	nw := newTestNetwork(seed)
+	nw.Side = faults.Lossy(seed^0x51DE, drop, dup, trunc)
+	// At 30% drop an 8-attempt exchange still fails ~1% of the time;
+	// give the heavy-loss tests enough headroom that joins are sure.
+	nw.Control.MaxAttempts = 16
+	return nw
+}
+
+// TestJoinOverLossyChannel: the retry state machine completes the full
+// handshake — including the SDM overflow path's ShareConfirm — over a
+// badly impaired channel, and the resulting books are consistent.
+func TestJoinOverLossyChannel(t *testing.T) {
+	nw := lossyTestNetwork(11, 0.3, 0.15, 0.05)
+	nodes := placeNodes(t, nw, 5, 60e6) // 3 FDM owners + 2 SDM sharers
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if !nw.Controller.HoldsLease(n.ID) {
+			t.Errorf("node %d holds no lease after join", n.ID)
+		}
+	}
+	if nw.Side.Drops == 0 {
+		t.Error("test is vacuous: the channel never dropped a frame")
+	}
+}
+
+// TestJoinDeterministicUnderLoss: the same seeds give bit-identical join
+// outcomes, drop counts included.
+func TestJoinDeterministicUnderLoss(t *testing.T) {
+	run := func() ([]mac.Assignment, int) {
+		nw := lossyTestNetwork(13, 0.3, 0.2, 0.1)
+		nodes := placeNodes(t, nw, 4, 60e6)
+		out := make([]mac.Assignment, len(nodes))
+		for i, n := range nodes {
+			out[i] = n.Assignment
+		}
+		return out, nw.Side.Drops
+	}
+	a1, d1 := run()
+	a2, d2 := run()
+	if !reflect.DeepEqual(a1, a2) || d1 != d2 {
+		t.Fatalf("runs diverged: %v (%d drops) vs %v (%d drops)", a1, d1, a2, d2)
+	}
+}
+
+// TestChurnLeaseReclaim is the churn satellite: 30% of nodes crash
+// without a Release mid-run. Within one lease TTL (plus a renew period)
+// their spectrum is reclaimed, surviving sharers of dead owners are
+// promoted, and the spectrum books validate.
+func TestChurnLeaseReclaim(t *testing.T) {
+	nw := lossyTestNetwork(17, 0.2, 0.1, 0.05)
+	nodes := placeNodes(t, nw, 10, 60e6) // 3 owners + 7 sharers
+	// Crash 3 of 10 silently — including node 1, an FDM owner with
+	// sharers on its channel.
+	plan := faults.NewPlan().Crash(0.1, 1).Crash(0.1, 4).Crash(0.1, 7)
+	nw.Faults = plan
+	st := nw.Run(3.0, 0, -5) // > crash time + TTL (1 s) + renew period
+	if st.Control.Crashes != 3 {
+		t.Fatalf("crashes executed = %d", st.Control.Crashes)
+	}
+	if st.Control.LeaseExpiries != 3 {
+		t.Errorf("lease expiries = %d, want 3", st.Control.LeaseExpiries)
+	}
+	for _, n := range nodes {
+		if n.Down {
+			if nw.Controller.HoldsLease(n.ID) {
+				t.Errorf("crashed node %d still holds a lease", n.ID)
+			}
+			continue
+		}
+		if !nw.Controller.HoldsLease(n.ID) {
+			t.Errorf("surviving node %d lost its lease", n.ID)
+		}
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 owned a channel with sharers: promotion (not reclamation to
+	// the free pool) must have handed it to a surviving sharer, so the
+	// count of exclusive survivors is back to the original 3 owners.
+	exclusive := 0
+	for _, n := range nodes {
+		if !n.Down && !n.SDMShared {
+			exclusive++
+		}
+	}
+	if exclusive != 3 {
+		t.Errorf("exclusive survivors = %d, want 3 (one promoted)", exclusive)
+	}
+	if st.Control.Promotions+st.Control.Resyncs == 0 {
+		t.Error("no promotion reached any node")
+	}
+}
+
+// TestRunUnderFaultPlanConverges is the acceptance scenario: 30% control
+// drop with duplicated and truncated frames, a mid-run crash+reboot, a
+// node that dies for good, and an AP restart that wipes the spectrum
+// books. The network must converge — every surviving node re-holds a
+// valid lease, the books validate — and repeat bit-identically.
+func TestRunUnderFaultPlanConverges(t *testing.T) {
+	run := func() (RunStats, *Network) {
+		nw := lossyTestNetwork(19, 0.3, 0.15, 0.05)
+		placeNodes(t, nw, 6, 60e6)
+		nw.Faults = faults.NewPlan().
+			Crash(0.4, 2).
+			Reboot(1.2, 2).
+			Crash(0.6, 5). // never reboots
+			RestartAP(1.8, 0.25)
+		return nw.Run(4.0, 0, -5), nw
+	}
+	st, nw := run()
+	if st.Control.Crashes != 2 || st.Control.Reboots != 1 || st.Control.APRestarts != 1 {
+		t.Fatalf("fault execution: %+v", st.Control)
+	}
+	if st.Control.Rejoins == 0 {
+		t.Error("the AP restart should have forced renew-nack rejoins")
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nw.Nodes {
+		if n.ID == 5 {
+			if !n.Down {
+				t.Error("node 5 should still be down")
+			}
+			continue
+		}
+		if n.Down {
+			t.Errorf("node %d should be back up", n.ID)
+			continue
+		}
+		if !nw.Controller.HoldsLease(n.ID) {
+			t.Errorf("surviving node %d holds no lease after convergence", n.ID)
+		}
+	}
+	// Bit-reproducibility of the whole run, control plane included.
+	st2, _ := run()
+	if !reflect.DeepEqual(st, st2) {
+		t.Fatalf("runs diverged:\n%+v\n%+v", st, st2)
+	}
+}
+
+// TestAPRestartGracefulDegradation: while the AP is down, nodes keep
+// moving data on their last-known assignments — goodput does not go to
+// zero — and renews fail rather than wedge.
+func TestAPRestartGracefulDegradation(t *testing.T) {
+	nw := newTestNetwork(23) // perfect side channel isolates the restart
+	placeNodes(t, nw, 3, 60e6)
+	nw.Faults = faults.NewPlan().RestartAP(0.2, 1.0)
+	st := nw.Run(2.0, 0, -5)
+	if st.Control.RenewsFailed == 0 {
+		t.Error("renews during the outage should fail")
+	}
+	if st.Control.Rejoins == 0 {
+		t.Error("nodes should rejoin after the restart")
+	}
+	for _, n := range st.PerNode {
+		if n.BitsDelivered == 0 {
+			t.Errorf("node %d delivered nothing — data plane stalled", n.ID)
+		}
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashedNodeStopsTransmitting: a down node sends no frames, emits
+// no interference, and reports -Inf SINR with path class "down".
+func TestCrashedNodeStopsTransmitting(t *testing.T) {
+	nw := newTestNetwork(29)
+	placeNodes(t, nw, 2, 60e6)
+	nw.Faults = faults.NewPlan().Crash(0.0, 1)
+	st := nw.Run(1.0, 0, -5)
+	if st.PerNode[0].FramesSent != 0 {
+		t.Errorf("crashed node sent %d frames", st.PerNode[0].FramesSent)
+	}
+	if st.PerNode[1].FramesSent == 0 {
+		t.Error("survivor sent nothing")
+	}
+	reports := nw.EvaluateSINR()
+	if reports[0].PathClass != "down" || !math.IsInf(reports[0].SINRdB, -1) || reports[0].BER != 1 {
+		t.Errorf("down report = %+v", reports[0])
+	}
+	if math.IsInf(reports[1].SINRdB, -1) {
+		t.Error("survivor report corrupted")
+	}
+}
+
+// TestOutageRateZeroDropsFrames is the rate-0 satellite: a node whose
+// adapted rate is 0 must not transmit at n.Demand — its frames are
+// counted as outage discards and deliver nothing.
+func TestOutageRateZeroDropsFrames(t *testing.T) {
+	nw := newTestNetwork(31)
+	nodes := placeNodes(t, nw, 1, 10e6)
+	nodes[0].RateBps = 0 // force outage; envStep=0 never re-adapts
+	st := nw.Run(0.5, 0, -5)
+	pn := st.PerNode[0]
+	if pn.FramesSent == 0 {
+		t.Fatal("traffic model generated nothing")
+	}
+	if pn.FramesOutage != pn.FramesSent {
+		t.Errorf("outage frames = %d of %d sent", pn.FramesOutage, pn.FramesSent)
+	}
+	if pn.BitsDelivered != 0 || pn.AirtimeFraction != 0 {
+		t.Errorf("outage node delivered %g bits over %.3f airtime", pn.BitsDelivered, pn.AirtimeFraction)
+	}
+}
+
+// TestInRunRateAdaptation: with environment stepping enabled, Run
+// re-adapts RateBps from the fresh SINR reports — a node whose link
+// collapses under blockage downshifts (or outages) without any Join-time
+// re-derivation.
+func TestInRunRateAdaptation(t *testing.T) {
+	rng := stats.NewRNG(37)
+	env := channel.NewEnvironment(channel.NewLabRoom(rng), 24.125e9)
+	// A walking blocker crossing the LoS corridor.
+	env.AddBlocker(&channel.Blocker{
+		Pos: channel.Vec2{X: 2, Y: 0.3}, Radius: 0.35, LossDB: 15,
+		Vel: channel.Vec2{Y: 1.5},
+	})
+	ap := channel.Pose{Pos: channel.Vec2{X: 0.3, Y: 2}}
+	nw := New(env, ap, 1037)
+	pos := channel.Vec2{X: 5.2, Y: 2}
+	n, err := nw.Join(1, channel.Pose{Pos: pos, Orientation: nw.AP.Pos.Sub(pos).Angle()}, 100e6, HDCamera(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	startRate := n.RateBps
+	rates := map[float64]bool{}
+	for i := 0; i < 40; i++ {
+		nw.Run(0.05, 0.05, -5)
+		rates[n.RateBps] = true
+	}
+	if len(rates) < 2 {
+		t.Errorf("rate never adapted in-run: stuck at %v (start %g)", rates, startRate)
+	}
+}
+
+// TestLeaveBestEffortUnderLoss: Leave over a hopeless channel (100%
+// drop) must not wedge — the lease TTL reclaims the spectrum instead.
+func TestLeaveBestEffortUnderLoss(t *testing.T) {
+	nw := lossyTestNetwork(41, 1.0, 0, 0) // nothing gets through
+	// Join over a dead channel can't work; install reliable first.
+	nw.Side = nil
+	placeNodes(t, nw, 2, 100e6)
+	nw.Side = faults.Lossy(99, 1.0, 0, 0)
+	nw.Leave(1)
+	if len(nw.Nodes) != 1 {
+		t.Fatal("leaver not removed locally")
+	}
+	// The AP never heard the release; the lease must still be live.
+	if !nw.Controller.HoldsLease(1) {
+		t.Fatal("release cannot have been delivered over a dead channel")
+	}
+	nw.Side = nil
+	st := nw.Run(2.0, 0, -5) // one TTL + renew period
+	if st.Control.LeaseExpiries != 1 {
+		t.Errorf("lease expiries = %d, want 1 (the silent leaver)", st.Control.LeaseExpiries)
+	}
+	if nw.Controller.HoldsLease(1) {
+		t.Error("leaked lease never reclaimed")
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"mmx/internal/antenna"
 	"mmx/internal/channel"
 	"mmx/internal/core"
+	"mmx/internal/faults"
 	"mmx/internal/mac"
 	"mmx/internal/stats"
 	"mmx/internal/tma"
@@ -36,10 +37,19 @@ type Node struct {
 	SDMShared bool
 	// RateBps is the node's adapted PHY rate: the fastest ladder step
 	// its SNR sustains at BER ≤ 1e-6, capped by what its channel width
-	// carries. Frames occupy airtime at this rate.
+	// carries. Frames occupy airtime at this rate. 0 means the link
+	// cannot close at any ladder step — the node is in outage and its
+	// frames are dropped rather than transmitted at a hopeless rate.
 	RateBps float64
 	// Link is the node's OTAM link to the AP.
 	Link *core.Link
+	// Down marks a crashed node: it neither transmits nor renews its
+	// lease until a FaultPlan reboot brings it back through the full
+	// join handshake.
+	Down bool
+	// seq numbers the node's control-plane requests so the AP can
+	// detect retransmissions and the node can discard stale replies.
+	seq uint32
 }
 
 // Network is the full mmX deployment.
@@ -65,6 +75,21 @@ type Network struct {
 	// GOMAXPROCS, 1 forces the serial path. Parallel and serial results
 	// are bit-identical (each node writes only its own output slot).
 	Workers int
+	// Control times the fault-tolerant control plane: retry/backoff for
+	// the side-channel exchanges and the lease/renew keepalive cycle.
+	Control ControlConfig
+	// Side is the control side channel. nil is a perfect channel;
+	// install a seeded faults.SideChannel to make the WiFi/Bluetooth
+	// handshake lossy.
+	Side *faults.SideChannel
+	// Faults schedules in-run node crash/reboot and AP restart events.
+	Faults *faults.Plan
+	// apDown is true while a FaultPlan AP restart keeps the controller
+	// unreachable.
+	apDown bool
+	// ctrlRNG jitters the control plane's retry backoff without
+	// perturbing the traffic RNG stream.
+	ctrlRNG *stats.RNG
 	rng     *stats.RNG
 	// coupling caches the pairwise coupling matrix as linear power
 	// factors (flat n×n; coupling[i*n+j] = FromDB(-couplingDB(i,j)), so
@@ -89,7 +114,7 @@ func New(env *channel.Environment, apPose channel.Pose, seed uint64) *Network {
 // mac.Unlicensed60GHz for the 7 GHz band §7a points to). The environment's
 // carrier frequency should sit inside the band.
 func NewWithBand(env *channel.Environment, apPose channel.Pose, seed uint64, band mac.Band) *Network {
-	return &Network{
+	nw := &Network{
 		Env:            env,
 		AP:             apPose,
 		APPattern:      antenna.NewAPAntenna(),
@@ -99,73 +124,33 @@ func NewWithBand(env *channel.Environment, apPose channel.Pose, seed uint64, ban
 		NodeBeams:      antenna.NewNodeBeams(),
 		ACLRAdjacentDB: 40,
 		ACLRFarDB:      60,
+		Control:        DefaultControlConfig(),
+		ctrlRNG:        stats.NewRNG(seed ^ 0xC0117A01),
 		rng:            stats.NewRNG(seed),
 	}
+	nw.Controller.LeaseTTL = nw.Control.LeaseTTLS
+	return nw
 }
 
 // ErrJoinFailed reports a node the AP could not admit.
 var ErrJoinFailed = errors.New("simnet: join failed")
 
 // Join runs the initialization protocol for one node (the WiFi/Bluetooth
-// handshake of §7a) and installs it into the network. It must not be
-// called while Run is executing (see Run) and panics if it is.
+// handshake of §7a) and installs it into the network. The handshake goes
+// through the control side channel: with a lossy SideChannel installed it
+// is driven by the retry state machine, and Join fails only when every
+// attempt dies. It must not be called while Run is executing (see Run)
+// and panics if it is.
 func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic TrafficModel) (*Node, error) {
 	if nw.running {
 		panic("simnet: Join during Run is not supported — Run indexes nodes at start; churn between runs instead")
-	}
-	raw, err := mac.Marshal(mac.JoinRequest{NodeID: id, DemandBps: demandBps})
-	if err != nil {
-		return nil, err
-	}
-	reply, err := nw.Controller.Handle(raw)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrJoinFailed, err)
-	}
-	msg, err := mac.Unmarshal(reply)
-	if err != nil {
-		return nil, err
 	}
 	n := &Node{ID: id, Pose: pose, Demand: demandBps, Traffic: traffic}
 	// The TMA hashes each node's angle-of-arrival into a harmonic slot;
 	// the AP learns the slot when the node joins.
 	n.SDMHarmonic = nw.SDM.BestHarmonic(nw.AP.AngleTo(pose.Pos))
-	switch m := msg.(type) {
-	case mac.AssignmentMsg:
-		n.Assignment = mac.Assignment{
-			NodeID: id, CenterHz: m.CenterHz, WidthHz: m.WidthHz, FSKOffsetHz: m.FSKOffsetHz,
-		}
-	case mac.RejectMsg:
-		n.SDMShared = true
-		n.Assignment = mac.Assignment{
-			NodeID: id, CenterHz: m.ShareHz,
-			WidthHz:     mac.BandwidthForRate(demandBps),
-			FSKOffsetHz: mac.BandwidthForRate(demandBps) * 0.05,
-		}
-		// The reject carries a nominal host channel, but the AP knows
-		// every occupant's harmonic slot: place the newcomer on the
-		// channel whose occupants are farthest from its slot so the
-		// TMA can actually separate them.
-		if c, ok := nw.bestHostChannel(n.SDMHarmonic, nw.AP.AngleTo(pose.Pos)); ok {
-			n.Assignment.CenterHz = c
-		}
-		// Report the final placement back so the AP's spectrum books
-		// track where the sharer really landed — this is what lets the
-		// controller promote (rather than re-grant) the channel when
-		// its FDM owner later leaves.
-		confirm, err := mac.Marshal(mac.ShareConfirmMsg{
-			NodeID:   id,
-			ShareHz:  n.Assignment.CenterHz,
-			WidthHz:  n.Assignment.WidthHz,
-			Harmonic: int8(n.SDMHarmonic),
-		})
-		if err != nil {
-			return nil, err
-		}
-		if _, err := nw.Controller.Handle(confirm); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrJoinFailed, err)
-		}
-	default:
-		return nil, ErrJoinFailed
+	if _, err := nw.handshake(n, nw.Controller.NowS()); err != nil {
+		return nil, err
 	}
 	n.Link = core.NewLink(nw.Env, pose, nw.AP)
 	n.Link.Beams = nw.NodeBeams
@@ -177,7 +162,8 @@ func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic
 
 // applyAssignment (re)derives a node's link configuration and adapted PHY
 // rate from its current spectrum assignment — used at join and again when
-// a release promotes the node from SDM sharer to FDM owner.
+// a release promotes the node from SDM sharer to FDM owner or a renew ack
+// re-syncs it after an AP restart.
 func (nw *Network) applyAssignment(n *Node) {
 	cfg := nw.LinkCfg
 	cfg.BandwidthHz = n.Assignment.WidthHz
@@ -185,14 +171,19 @@ func (nw *Network) applyAssignment(n *Node) {
 	cfg.Modem.F1 = +n.Assignment.FSKOffsetHz / 2
 	n.Link.Cfg = cfg
 	// Adapt the PHY rate to the link (switch-speed scaling, §5.1),
-	// bounded by what the allocated channel width can carry.
-	n.RateBps = n.Link.AdaptRate(1e-6)
-	if rateCap := n.Assignment.WidthHz / 1.25; n.RateBps > rateCap {
-		n.RateBps = rateCap
+	// bounded by what the allocated channel width can carry. Rate 0 —
+	// the ladder cannot close the link at all — marks the node in
+	// outage; Run drops its frames instead of transmitting hopelessly.
+	n.RateBps = nw.cappedRate(n, n.Link.AdaptRate(1e-6))
+}
+
+// cappedRate bounds an adapted ladder rate by what the node's allocated
+// channel width can carry.
+func (nw *Network) cappedRate(n *Node, rate float64) float64 {
+	if rateCap := n.Assignment.WidthHz / 1.25; rate > rateCap {
+		return rateCap
 	}
-	if n.RateBps <= 0 {
-		n.RateBps = n.Demand // hopeless link: frames will die to BER anyway
-	}
+	return rate
 }
 
 // pairSuppressionDB returns the worse-direction TMA suppression between
@@ -224,15 +215,20 @@ func (nw *Network) pairSuppressionDB(mi int, thI float64, mj int, thJ float64) f
 
 // bestHostChannel picks the existing channel whose occupants the TMA can
 // best separate from a newcomer at harmonic h and angle th — maximizing
-// the worst-case pairwise suppression. ok is false when there are no
-// channels yet.
-func (nw *Network) bestHostChannel(h int, th float64) (float64, bool) {
+// the worst-case pairwise suppression. The exclude ID skips the newcomer
+// itself, so a node re-running the handshake (reboot, post-restart
+// rejoin) doesn't count its own stale entry as an occupant. ok is false
+// when there are no channels yet.
+func (nw *Network) bestHostChannel(h int, th float64, exclude uint32) (float64, bool) {
 	type chanInfo struct {
 		worstSupp float64
 		occupants int
 	}
 	byCenter := map[float64]*chanInfo{}
 	for _, n := range nw.Nodes {
+		if n.ID == exclude {
+			continue
+		}
 		ci := byCenter[n.Assignment.CenterHz]
 		if ci == nil {
 			ci = &chanInfo{worstSupp: math.Inf(1)}
@@ -268,31 +264,43 @@ func (nw *Network) Leave(id uint32) {
 	if nw.running {
 		panic("simnet: Leave during Run is not supported — Run indexes nodes at start; churn between runs instead")
 	}
-	raw, _ := mac.Marshal(mac.ReleaseMsg{NodeID: id})
-	reply, _ := nw.Controller.Handle(raw) //nolint:errcheck // release errors are stale no-ops
+	var leaver *Node
 	for i, n := range nw.Nodes {
 		if n.ID == id {
+			leaver = n
 			nw.Nodes = append(nw.Nodes[:i], nw.Nodes[i+1:]...)
 			break
 		}
 	}
-	nw.applyPromotion(reply)
+	if leaver != nil {
+		// Best-effort release through the retry machine: if every attempt
+		// dies on the side channel the lease TTL reclaims the spectrum.
+		leaver.seq++
+		nw.transact(mac.ReleaseMsg{NodeID: id, Seq: leaver.seq}, nw.Controller.NowS()) //nolint:errcheck
+	} else {
+		raw, _ := mac.Marshal(mac.ReleaseMsg{NodeID: id})
+		nw.Controller.Handle(raw) //nolint:errcheck // release of an unknown node is a stale no-op
+	}
+	// The leaver is gone from the membership list, so the promote push
+	// (if any) is delivered reliably to whichever sharer it names.
+	nw.pushNotifications(true)
 	nw.invalidateCoupling()
 }
 
-// applyPromotion installs a PromoteMsg replied to a release: the named SDM
-// sharer becomes the exclusive owner of (part of) the channel it shared.
-func (nw *Network) applyPromotion(reply []byte) {
+// applyPromotion installs a PromoteMsg pushed after a release: the named
+// SDM sharer becomes the exclusive owner of (part of) the channel it
+// shared. It reports whether a live node actually adopted the promotion.
+func (nw *Network) applyPromotion(reply []byte) bool {
 	if len(reply) == 0 {
-		return
+		return false
 	}
 	msg, err := mac.Unmarshal(reply)
 	if err != nil {
-		return
+		return false
 	}
 	p, ok := msg.(mac.PromoteMsg)
 	if !ok {
-		return
+		return false
 	}
 	for _, n := range nw.Nodes {
 		if n.ID == p.NodeID {
@@ -302,9 +310,11 @@ func (nw *Network) applyPromotion(reply []byte) {
 				WidthHz: p.WidthHz, FSKOffsetHz: p.FSKOffsetHz,
 			}
 			nw.applyAssignment(n)
-			return
+			nw.invalidateCoupling()
+			return true
 		}
 	}
+	return false
 }
 
 // MoveNode repositions a live node (a camera carried across the room) and
@@ -335,6 +345,12 @@ func (nw *Network) ValidateSpectrum() error {
 		return err
 	}
 	for _, n := range nw.Nodes {
+		if n.Down {
+			// A crashed node holds no books entry once its lease expires
+			// and transmits nothing — it cannot violate the spectrum
+			// invariants.
+			continue
+		}
 		if n.SDMShared {
 			c, ok := nw.Controller.SharerChannel(n.ID)
 			if !ok {
@@ -356,7 +372,7 @@ func (nw *Network) ValidateSpectrum() error {
 	}
 	for i, a := range nw.Nodes {
 		for _, b := range nw.Nodes[i+1:] {
-			if a.SDMShared || b.SDMShared {
+			if a.SDMShared || b.SDMShared || a.Down || b.Down {
 				continue
 			}
 			// Same 1 µHz tolerance as Allocator.Validate, so exactly
@@ -545,6 +561,12 @@ func (nw *Network) EvaluateSINR() []Report {
 	evals := make([]core.Evaluation, n)
 	powers := make([]float64, n) // peak received power, watts
 	nw.forEachNode(n, func(i int) {
+		if nw.Nodes[i].Down {
+			// Crashed: no carrier on the air, so no interference
+			// contribution and nothing to evaluate.
+			powers[i] = 0
+			return
+		}
 		evals[i] = nw.Nodes[i].Link.EvaluateWithClass()
 		g := math.Max(cmplx.Abs(evals[i].G0), cmplx.Abs(evals[i].G1))
 		powers[i] = g * g
@@ -552,6 +574,13 @@ func (nw *Network) EvaluateSINR() []Report {
 	out := make([]Report, n)
 	nw.forEachNode(n, func(i int) {
 		node := nw.Nodes[i]
+		if node.Down {
+			out[i] = Report{
+				ID: node.ID, SNRdB: math.Inf(-1), SINRdB: math.Inf(-1),
+				BER: 1, PathClass: "down", SDM: node.SDMShared,
+			}
+			return
+		}
 		noise := evals[i].NoisePowerW
 		interf := 0.0
 		row := nw.coupling[i*n : (i+1)*n]

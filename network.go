@@ -1,6 +1,7 @@
 package mmx
 
 import (
+	"mmx/internal/faults"
 	"mmx/internal/simnet"
 )
 
@@ -114,6 +115,47 @@ type NodeStats = simnet.NodeStats
 
 // RunStats mirrors simnet's run summary.
 type RunStats = simnet.RunStats
+
+// ControlStats mirrors simnet's control-plane fault accounting.
+type ControlStats = simnet.ControlStats
+
+// FaultPlan is a deterministic schedule of in-run failures: node crashes
+// and reboots, and AP restarts that wipe the volatile spectrum books.
+// Build one with NewFaultPlan's chainable Crash / Reboot / RestartAP and
+// install it with SetFaultPlan before Run.
+type FaultPlan = faults.Plan
+
+// NewFaultPlan returns an empty fault schedule.
+func NewFaultPlan() *FaultPlan { return faults.NewPlan() }
+
+// SetFaultPlan installs the in-run failure schedule executed by the next
+// Run. Pass nil to clear it.
+func (n *Network) SetFaultPlan(p *FaultPlan) { n.nw.Faults = p }
+
+// SetLossyControl makes the WiFi/Bluetooth control side channel lossy:
+// frames are dropped, duplicated and truncated at the given per-frame
+// probabilities, deterministically from the seed. The join handshake and
+// the lease keepalive cycle then run through the retry state machine
+// (capped exponential backoff, idempotent AP handling). Zero rates with
+// any seed model a reliable-but-instrumented channel; call with
+// SetReliableControl to remove the channel entirely.
+func (n *Network) SetLossyControl(seed uint64, drop, dup, trunc float64) {
+	n.nw.Side = faults.Lossy(seed, drop, dup, trunc)
+}
+
+// SetReliableControl restores the perfect control side channel.
+func (n *Network) SetReliableControl() { n.nw.Side = nil }
+
+// SetLeaseTTL reconfigures the spectrum lease lifetime and keepalive
+// period (seconds). A node silent for longer than ttlS — crashed without
+// a Release — has its spectrum reclaimed churn-safely; live nodes renew
+// every renewIntervalS, which should sit well below the TTL. ttlS = 0
+// disables expiry.
+func (n *Network) SetLeaseTTL(ttlS, renewIntervalS float64) {
+	n.nw.Control.LeaseTTLS = ttlS
+	n.nw.Control.RenewIntervalS = renewIntervalS
+	n.nw.Controller.LeaseTTL = ttlS
+}
 
 // Run drives the deployment for the given duration (seconds): blockers
 // walk, every node's traffic model emits frames, and frames succeed with
