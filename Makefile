@@ -1,0 +1,44 @@
+GO ?= go
+
+# Benchmarks gated by the perf-regression harness: the end-to-end frame
+# roundtrip, the network SINR engine, and the Fig. 11 BER CDF (the
+# Monte Carlo fan-out hot path).
+BENCH_PATTERN  ?= OTAMFrameRoundtrip|NetworkSINREvaluation|Fig11BERCDF
+BENCH_BASELINE ?= BENCH_phy.json
+BENCH_OUT      ?= bench.out
+
+.PHONY: build test bench bench-baseline bench-check profile clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the gated PHY benchmarks and refreshes $(BENCH_BASELINE) with
+# the measured numbers. Commit the refreshed file only from the CI runner
+# class (ns/op is machine-dependent; allocs/op is not).
+bench: bench-baseline
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . > $(BENCH_OUT)
+	$(GO) run ./cmd/mmx-benchstat -emit -o $(BENCH_BASELINE) < $(BENCH_OUT)
+	@rm -f $(BENCH_OUT)
+	@echo "wrote $(BENCH_BASELINE)"
+
+# bench-check reruns the gated benchmarks and fails on >15% ns/op
+# regression or any allocs/op increase against the committed baseline.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . > $(BENCH_OUT)
+	$(GO) run ./cmd/mmx-benchstat -check -baseline $(BENCH_BASELINE) < $(BENCH_OUT)
+	@rm -f $(BENCH_OUT)
+
+# profile runs a representative simulation under the pprof CPU and heap
+# profilers; inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/mmx-sim -nodes 12 -duration 2 -blockers 2 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "profiles: cpu.pprof mem.pprof (go tool pprof <file>)"
+
+clean:
+	rm -f $(BENCH_OUT) cpu.pprof mem.pprof

@@ -25,11 +25,14 @@ import (
 	"math"
 
 	"mmx/internal/dsp"
+	"mmx/internal/dsp/pool"
 	"mmx/internal/modem"
 	"mmx/internal/tma"
 )
 
-// Channelizer splits a wideband capture into per-channel basebands.
+// Channelizer splits a wideband capture into per-channel basebands. It is
+// not safe for concurrent use (the filter-design cache is unsynchronized);
+// give each worker its own Channelizer.
 type Channelizer struct {
 	// WidebandRate is the capture's complex sample rate (Hz).
 	WidebandRate float64
@@ -41,6 +44,12 @@ type Channelizer struct {
 	TransitionFraction float64
 	// Taps sets the anti-alias FIR length (default 129 when zero).
 	Taps int
+
+	// Cached anti-alias design, keyed by the effective cutoff and tap
+	// count of the last ExtractInto call.
+	lp       *dsp.FIR
+	lpCutoff float64
+	lpTaps   int
 }
 
 // NewChannelizer returns a channelizer for a capture of the given rate
@@ -59,6 +68,16 @@ var (
 // mixed down by (channelHz − CenterHz), low-passed to the channel, and
 // decimated to outRate.
 func (c *Channelizer) Extract(x []complex128, channelHz, widthHz, outRate float64) ([]complex128, error) {
+	return c.ExtractInto(nil, x, channelHz, widthHz, outRate)
+}
+
+// ExtractInto is Extract with append-style buffer reuse: the decimated
+// channel stream is written into dst's storage when its capacity
+// suffices, and the full-rate mix/filter intermediates live in pooled
+// scratch buffers — the per-frame channelization path allocates nothing
+// once dst is warm. dst must not alias x. The anti-alias filter design
+// (tap computation) is cached per (width, rate, taps) in the Channelizer.
+func (c *Channelizer) ExtractInto(dst, x []complex128, channelHz, widthHz, outRate float64) ([]complex128, error) {
 	offset := channelHz - c.CenterHz
 	if math.Abs(offset)+widthHz/2 > c.WidebandRate/2 {
 		return nil, ErrBadChannel
@@ -78,10 +97,19 @@ func (c *Channelizer) Extract(x []complex128, channelHz, widthHz, outRate float6
 	if taps <= 0 {
 		taps = 129
 	}
-	y := dsp.MixDown(x, offset, c.WidebandRate)
-	lp := dsp.LowPass(widthHz/2*(1+tf), c.WidebandRate, taps)
-	y = lp.Filter(y)
-	return dsp.Decimate(y, int(math.Round(factor))), nil
+	cutoff := widthHz / 2 * (1 + tf)
+	if c.lp == nil || c.lpCutoff != cutoff || c.lpTaps != taps {
+		c.lp = dsp.LowPass(cutoff, c.WidebandRate, taps)
+		c.lpCutoff, c.lpTaps = cutoff, taps
+	}
+	mixed := pool.Complex(len(x))
+	mixed = dsp.MixDownInto(mixed, x, offset, c.WidebandRate)
+	filtered := pool.Complex(len(x))
+	filtered = c.lp.FilterInto(filtered, mixed)
+	out := dsp.DecimateInto(dst, filtered, int(math.Round(factor)))
+	pool.PutComplex(filtered)
+	pool.PutComplex(mixed)
+	return out, nil
 }
 
 // ChannelConfig returns the modem numerology for a channel extracted at
@@ -131,10 +159,21 @@ func (s *SDMSeparator) CheckChannel(channelWidthHz float64) error {
 // deliberately left to the Channelizer so channels anywhere in the band
 // survive (a post-mix boxcar would null channels at harmonic multiples).
 func (s *SDMSeparator) Shift(y []complex128, harmonic int) []complex128 {
+	return s.ShiftInto(nil, y, harmonic)
+}
+
+// ShiftInto is Shift with append-style buffer reuse. dst == y is allowed
+// (the mix is elementwise), so ShiftInto(y, y, k) shifts in place.
+func (s *SDMSeparator) ShiftInto(dst, y []complex128, harmonic int) []complex128 {
 	if harmonic == 0 {
-		return append([]complex128(nil), y...)
+		if cap(dst) < len(y) {
+			dst = make([]complex128, len(y))
+		}
+		dst = dst[:len(y)]
+		copy(dst, y)
+		return dst
 	}
-	return dsp.MixDown(y, float64(harmonic)*s.Array.SwitchRateHz, s.WidebandRate)
+	return dsp.MixDownInto(dst, y, float64(harmonic)*s.Array.SwitchRateHz, s.WidebandRate)
 }
 
 // NodeCapture describes one co-channel transmission for SDM synthesis in
@@ -145,4 +184,10 @@ type NodeCapture = tma.Source
 // counterpart of several nodes transmitting at once on one channel.
 func (s *SDMSeparator) MixSDM(nodes []NodeCapture) []complex128 {
 	return s.Array.Mix(nodes, s.WidebandRate)
+}
+
+// MixSDMInto is MixSDM with append-style buffer reuse; the TMA's phase
+// table lives in pooled scratch.
+func (s *SDMSeparator) MixSDMInto(dst []complex128, nodes []NodeCapture) []complex128 {
+	return s.Array.MixInto(dst, nodes, s.WidebandRate)
 }

@@ -34,27 +34,66 @@ func (p Path) ExcessLossDB() float64 { return p.ReflectionLossDB + p.BlockageLos
 // (the paper cites "typically a few paths"), which this construction
 // reproduces: a handful of geometric paths, each with its own loss class.
 // Paths are returned strongest-class first (fewest reflections, shortest).
+//
+// Every Path's Points slice is a capped view into one backing array sized
+// up front, so an enumeration costs three allocations regardless of how
+// many paths exist — this is the per-node hot path of both the waveform
+// transmitter and the network SINR engine. All state is call-local;
+// concurrent Paths calls on a shared Environment remain safe.
 func (e *Environment) Paths(tx, rx Vec2) []Path {
-	var out []Path
+	walls := e.Room.allWalls()
+	maxR := e.MaxReflections
+	nWalls := len(walls)
+	maxPaths := 1
+	maxPts := 2
+	if maxR >= 1 {
+		maxPaths += nWalls
+		maxPts += 3 * nWalls
+	}
+	if maxR >= 2 {
+		maxPaths += nWalls * (nWalls - 1)
+		maxPts += 4 * nWalls * (nWalls - 1)
+	}
+	out := make([]Path, 0, maxPaths)
+	backing := make([]Vec2, 0, maxPts)
+
+	// seal returns the points appended since start as an immutable-length
+	// view (capped capacity: appending to one path can never clobber the
+	// next).
+	seal := func(start int) []Vec2 { return backing[start:len(backing):len(backing)] }
 
 	// Direct (LoS) path.
 	if tx != rx {
+		start := len(backing)
+		backing = append(backing, tx, rx)
+		pts := seal(start)
 		out = append(out, Path{
-			Points:         []Vec2{tx, rx},
+			Points:         pts,
 			Length:         tx.Dist(rx),
 			DepartureAngle: rx.Sub(tx).Angle(),
 			ArrivalAngle:   tx.Sub(rx).Angle(),
-			BlockageLossDB: e.pathObstructionLossDB([]Vec2{tx, rx}),
+			BlockageLossDB: e.pathObstructionLossDB(pts),
 		})
 	}
 
-	walls := e.Room.allWalls()
-	maxR := e.MaxReflections
 	if maxR >= 1 {
 		for wi := range walls {
-			if p, ok := e.firstOrderPath(tx, rx, walls, wi); ok {
-				out = append(out, p)
+			rp, ok := e.reflectionPoint1(tx, rx, walls, wi)
+			if !ok {
+				continue
 			}
+			start := len(backing)
+			backing = append(backing, tx, rp, rx)
+			pts := seal(start)
+			out = append(out, Path{
+				Points:           pts,
+				Length:           tx.Dist(rp) + rp.Dist(rx),
+				DepartureAngle:   rp.Sub(tx).Angle(),
+				ArrivalAngle:     rp.Sub(rx).Angle(),
+				Reflections:      1,
+				ReflectionLossDB: walls[wi].ReflectionLossDB,
+				BlockageLossDB:   e.pathObstructionLossDB(pts),
+			})
 		}
 	}
 	if maxR >= 2 {
@@ -63,9 +102,22 @@ func (e *Environment) Paths(tx, rx Vec2) []Path {
 				if w1 == w2 {
 					continue
 				}
-				if p, ok := e.secondOrderPath(tx, rx, walls, w1, w2); ok {
-					out = append(out, p)
+				r1, r2, ok := e.reflectionPoints2(tx, rx, walls, w1, w2)
+				if !ok {
+					continue
 				}
+				start := len(backing)
+				backing = append(backing, tx, r1, r2, rx)
+				pts := seal(start)
+				out = append(out, Path{
+					Points:           pts,
+					Length:           tx.Dist(r1) + r1.Dist(r2) + r2.Dist(rx),
+					DepartureAngle:   r1.Sub(tx).Angle(),
+					ArrivalAngle:     r2.Sub(rx).Angle(),
+					Reflections:      2,
+					ReflectionLossDB: walls[w1].ReflectionLossDB + walls[w2].ReflectionLossDB,
+					BlockageLossDB:   e.pathObstructionLossDB(pts),
+				})
 			}
 		}
 	}
@@ -79,24 +131,35 @@ func (e *Environment) Paths(tx, rx Vec2) []Path {
 	return out
 }
 
-// firstOrderPath builds the single-bounce path off walls[wi], if the
-// geometric reflection point falls on the wall.
-func (e *Environment) firstOrderPath(tx, rx Vec2, walls []Wall, wi int) (Path, bool) {
+// reflectionPoint1 finds the single-bounce reflection point off walls[wi],
+// if the geometric reflection point falls on the wall.
+func (e *Environment) reflectionPoint1(tx, rx Vec2, walls []Wall, wi int) (Vec2, bool) {
 	w := walls[wi]
 	img := w.Seg.MirrorAcross(tx)
 	// The reflection point is where rx→img crosses the wall.
 	ray := Segment{rx, img}
 	t, u, ok := ray.Intersect(w.Seg)
 	if !ok || t <= 1e-9 || t >= 1-1e-9 || u < 1e-9 || u > 1-1e-9 {
-		return Path{}, false
+		return Vec2{}, false
 	}
 	rp := w.Seg.PointAt(u)
 	if rp.Dist(tx) < 1e-9 || rp.Dist(rx) < 1e-9 {
-		return Path{}, false
+		return Vec2{}, false
 	}
 	// A real reflection keeps both endpoints on the same side of the
 	// surface (matters for interior walls; boundary walls always pass).
 	if !sameSide(w.Seg, tx, rx) {
+		return Vec2{}, false
+	}
+	return rp, true
+}
+
+// firstOrderPath builds the single-bounce path off walls[wi] as a
+// standalone Path (test helper; Paths uses reflectionPoint1 with shared
+// backing storage).
+func (e *Environment) firstOrderPath(tx, rx Vec2, walls []Wall, wi int) (Path, bool) {
+	rp, ok := e.reflectionPoint1(tx, rx, walls, wi)
+	if !ok {
 		return Path{}, false
 	}
 	pts := []Vec2{tx, rp, rx}
@@ -106,13 +169,14 @@ func (e *Environment) firstOrderPath(tx, rx Vec2, walls []Wall, wi int) (Path, b
 		DepartureAngle:   rp.Sub(tx).Angle(),
 		ArrivalAngle:     rp.Sub(rx).Angle(),
 		Reflections:      1,
-		ReflectionLossDB: w.ReflectionLossDB,
+		ReflectionLossDB: walls[wi].ReflectionLossDB,
 		BlockageLossDB:   e.pathObstructionLossDB(pts),
 	}, true
 }
 
-// secondOrderPath builds the double-bounce path hitting wall w1 then w2.
-func (e *Environment) secondOrderPath(tx, rx Vec2, walls []Wall, w1i, w2i int) (Path, bool) {
+// reflectionPoints2 finds the double-bounce reflection points hitting wall
+// w1 then w2.
+func (e *Environment) reflectionPoints2(tx, rx Vec2, walls []Wall, w1i, w2i int) (Vec2, Vec2, bool) {
 	w1 := walls[w1i]
 	w2 := walls[w2i]
 	img1 := w1.Seg.MirrorAcross(tx)   // tx mirrored in w1
@@ -121,33 +185,24 @@ func (e *Environment) secondOrderPath(tx, rx Vec2, walls []Wall, w1i, w2i int) (
 	ray2 := Segment{rx, img2}
 	t2, u2, ok := ray2.Intersect(w2.Seg)
 	if !ok || t2 <= 1e-9 || t2 >= 1-1e-9 || u2 < 1e-9 || u2 > 1-1e-9 {
-		return Path{}, false
+		return Vec2{}, Vec2{}, false
 	}
 	r2 := w2.Seg.PointAt(u2)
 	// First bounce: r2→img1 crosses w1 at r1, strictly between the two.
 	ray1 := Segment{r2, img1}
 	t1, u1, ok := ray1.Intersect(w1.Seg)
 	if !ok || t1 <= 1e-9 || t1 >= 1-1e-9 || u1 < 1e-9 || u1 > 1-1e-9 {
-		return Path{}, false
+		return Vec2{}, Vec2{}, false
 	}
 	r1 := w1.Seg.PointAt(u1)
 	if r1.Dist(tx) < 1e-9 || r2.Dist(rx) < 1e-9 || r1.Dist(r2) < 1e-9 {
-		return Path{}, false
+		return Vec2{}, Vec2{}, false
 	}
 	// Both bounces must be true same-side reflections.
 	if !sameSide(w1.Seg, tx, r2) || !sameSide(w2.Seg, r1, rx) {
-		return Path{}, false
+		return Vec2{}, Vec2{}, false
 	}
-	pts := []Vec2{tx, r1, r2, rx}
-	return Path{
-		Points:           pts,
-		Length:           tx.Dist(r1) + r1.Dist(r2) + r2.Dist(rx),
-		DepartureAngle:   r1.Sub(tx).Angle(),
-		ArrivalAngle:     r2.Sub(rx).Angle(),
-		Reflections:      2,
-		ReflectionLossDB: w1.ReflectionLossDB + w2.ReflectionLossDB,
-		BlockageLossDB:   e.pathObstructionLossDB(pts),
-	}, true
+	return r1, r2, true
 }
 
 // sameSide reports whether a and b lie strictly on the same side of the

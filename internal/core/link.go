@@ -80,6 +80,16 @@ type Link struct {
 	// Switch models the SPDT routing the carrier between beams.
 	Switch *rf.SPDTSwitch
 	Cfg    LinkConfig
+
+	// Waveform-path scratch, lazily initialized and reused across calls.
+	// Link evaluation (Evaluate/EvaluateWithClass) never touches these and
+	// stays safe to call concurrently; the waveform methods
+	// (TransmitOTAM/TransmitFixedBeam/Receive/MeasureBER) are not safe for
+	// concurrent use on one Link.
+	txBits   []bool
+	vcoModel *rf.VCO
+	demod    *modem.Demodulator
+	demodCfg modem.Config
 }
 
 // NewLink wires a link with the standard mmX hardware models.

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math/cmplx"
-
 	"mmx/internal/dsp"
 	"mmx/internal/modem"
 	"mmx/internal/rf"
@@ -15,28 +13,8 @@ import (
 // noise is added at the configured noise floor. padSamples of dead air
 // precede the frame (the receiver must synchronize).
 func (l *Link) TransmitOTAM(payload []byte, padSamples int, rng *stats.RNG) ([]complex128, error) {
-	bits, err := modem.BuildFrame(payload)
-	if err != nil {
-		return nil, err
-	}
 	ev := l.Evaluate()
-	x := modem.Synthesize(l.Cfg.Modem, bits, ev.G0, ev.G1)
-	applyVCOPhaseNoise(x, l.Cfg.Modem.SampleRate, rng)
-	x = modem.PadRandomOffset(x, padSamples)
-	x = append(x, make([]complex128, l.Cfg.Modem.SamplesPerSymbol())...)
-	dsp.AddNoise(x, ev.NoisePowerW, rng)
-	return x, nil
-}
-
-// applyVCOPhaseNoise rotates the waveform by a free-running oscillator's
-// random-walk phase. The node VCO runs open-loop (no PLL — part of why
-// the node costs $110); envelope detection and tone discrimination are
-// insensitive to it, which this impairment keeps honest.
-func applyVCOPhaseNoise(x []complex128, sampleRate float64, rng *stats.RNG) {
-	track := rf.NewHMC533().PhaseNoiseTrack(len(x), sampleRate, rng)
-	for i := range x {
-		x[i] *= cmplx.Rect(1, track[i])
-	}
+	return l.transmit(payload, padSamples, ev.G0, ev.G1, ev.NoisePowerW, rng)
 }
 
 // TransmitFixedBeam synthesizes the baseline capture: the node modulates
@@ -44,26 +22,66 @@ func applyVCOPhaseNoise(x []complex128, sampleRate float64, rng *stats.RNG) {
 // "without OTAM" scenario of §9.2). Bit 1 is full carrier, bit 0 is the
 // residual extinction amplitude; both traverse the same Beam 1 channel.
 func (l *Link) TransmitFixedBeam(payload []byte, padSamples int, rng *stats.RNG) ([]complex128, error) {
-	bits, err := modem.BuildFrame(payload)
-	if err != nil {
-		return nil, err
-	}
 	ev := l.Evaluate()
 	g1 := ev.G1
 	g0 := ev.G1 * complex(l.Cfg.ASKExtinction, 0)
-	x := modem.Synthesize(l.Cfg.Modem, bits, g0, g1)
-	applyVCOPhaseNoise(x, l.Cfg.Modem.SampleRate, rng)
-	x = modem.PadRandomOffset(x, padSamples)
-	x = append(x, make([]complex128, l.Cfg.Modem.SamplesPerSymbol())...)
-	dsp.AddNoise(x, ev.NoisePowerW, rng)
+	return l.transmit(payload, padSamples, g0, g1, ev.NoisePowerW, rng)
+}
+
+// transmit frames the payload and synthesizes the full capture —
+// padSamples of dead air, the frame, and one symbol of tail — into a
+// single right-sized buffer. The frame bits live in Link-owned scratch, so
+// the only allocation is the returned capture (which the caller owns).
+// The RNG draw order matches the historical path exactly: the VCO phase
+// walk consumes one draw per frame sample, then AddNoise consumes draws
+// over the whole capture.
+func (l *Link) transmit(payload []byte, padSamples int, g0, g1 complex128, noiseW float64, rng *stats.RNG) ([]complex128, error) {
+	var err error
+	l.txBits, err = modem.AppendFrame(l.txBits[:0], payload)
+	if err != nil {
+		return nil, err
+	}
+	if padSamples < 0 {
+		padSamples = 0
+	}
+	spb := l.Cfg.Modem.SamplesPerSymbol()
+	frameSamples := len(l.txBits) * spb
+	x := make([]complex128, padSamples+frameSamples+spb)
+	frame := x[padSamples : padSamples+frameSamples]
+	modem.SynthesizeInto(frame, l.Cfg.Modem, l.txBits, g0, g1)
+	l.vco().ApplyPhaseNoise(frame, l.Cfg.Modem.SampleRate, rng)
+	dsp.AddNoise(x, noiseW, rng)
 	return x, nil
 }
 
+// vco returns the node's oscillator model, created on first use. The node
+// VCO runs open-loop (no PLL — part of why the node costs $110); envelope
+// detection and tone discrimination are insensitive to its phase walk,
+// which the transmit-path impairment keeps honest.
+func (l *Link) vco() *rf.VCO {
+	if l.vcoModel == nil {
+		l.vcoModel = rf.NewHMC533()
+	}
+	return l.vcoModel
+}
+
+// demodulator returns the Link's cached receiver, rebuilt if the modem
+// numerology changed since the last call.
+func (l *Link) demodulator() *modem.Demodulator {
+	if l.demod == nil || l.demodCfg != l.Cfg.Modem {
+		l.demod = modem.NewDemodulator(l.Cfg.Modem)
+		l.demodCfg = l.Cfg.Modem
+	}
+	return l.demod
+}
+
 // Receive demodulates a capture produced by either transmit path and
-// returns the recovered payload.
+// returns the recovered payload. The demodulator (and its scratch) is
+// cached on the Link, so steady-state receives allocate only the decoded
+// payload; the returned DemodResult's Bits are valid until the next
+// Receive/MeasureBER call on this Link.
 func (l *Link) Receive(x []complex128, payloadLen int) ([]byte, modem.DemodResult, error) {
-	d := modem.NewDemodulator(l.Cfg.Modem)
-	return d.Receive(x, payloadLen)
+	return l.demodulator().Receive(x, payloadLen)
 }
 
 // MeasureBER Monte-Carlo-estimates the link's bit error rate by sending
@@ -73,9 +91,10 @@ func (l *Link) Receive(x []complex128, payloadLen int) ([]byte, modem.DemodResul
 func (l *Link) MeasureBER(nFrames, payloadLen int, useOTAM bool, rng *stats.RNG) float64 {
 	totalBits := 0
 	errBits := 0
-	d := modem.NewDemodulator(l.Cfg.Modem)
+	d := l.demodulator()
+	payload := make([]byte, payloadLen)
+	var want []bool
 	for f := 0; f < nFrames; f++ {
-		payload := make([]byte, payloadLen)
 		for i := range payload {
 			payload[i] = byte(rng.Uint64())
 		}
@@ -89,7 +108,7 @@ func (l *Link) MeasureBER(nFrames, payloadLen int, useOTAM bool, rng *stats.RNG)
 		if err != nil {
 			continue
 		}
-		want, _ := modem.BuildFrame(payload)
+		want, _ = modem.AppendFrame(want[:0], payload)
 		res, err := d.Demodulate(x, len(want))
 		totalBits += len(want)
 		if err != nil {
@@ -112,5 +131,5 @@ func Digitize(x []complex128) []complex128 {
 	out := append([]complex128(nil), x...)
 	adc := rf.NewUSRPN210()
 	dsp.NormalizeRMS(out, adc.FullScale/4) // headroom for ASK peaks
-	return adc.QuantizeIQ(out)
+	return adc.QuantizeIQInPlace(out)
 }

@@ -32,7 +32,23 @@ func (a *AGC) Gain() float64 { return a.gain }
 // Process applies the loop to a capture, returning a new slice. The loop
 // state persists across calls (streaming operation).
 func (a *AGC) Process(x []complex128) []complex128 {
-	out := make([]complex128, len(x))
+	return a.ProcessInto(nil, x)
+}
+
+// ProcessInPlace applies the loop to x in place (zero-allocation
+// streaming), returning x. The per-sample feedback reads only the sample
+// it just wrote, so aliasing input and output is safe.
+func (a *AGC) ProcessInPlace(x []complex128) []complex128 {
+	return a.ProcessInto(x, x)
+}
+
+// ProcessInto is Process with append-style buffer reuse; dst == x is
+// allowed.
+func (a *AGC) ProcessInto(dst, x []complex128) []complex128 {
+	if cap(dst) < len(x) {
+		dst = make([]complex128, len(x))
+	}
+	out := dst[:len(x)]
 	for i, v := range x {
 		y := v * complex(a.gain, 0)
 		out[i] = y

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+
+	"mmx/internal/dsp/pool"
 )
 
 // FFT computes the discrete Fourier transform of x and returns a new slice.
@@ -11,36 +13,65 @@ import (
 // use Bluestein's chirp-z algorithm, so any length is supported. An empty
 // input returns nil.
 func FFT(x []complex128) []complex128 {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return nil
 	}
-	out := append([]complex128(nil), x...)
-	if n&(n-1) == 0 {
-		radix2(out, false)
-		return out
+	return FFTInto(nil, x)
+}
+
+// FFTInto is FFT with append-style buffer reuse: the transform is written
+// into dst's storage when cap(dst) >= len(x). dst == x computes the
+// transform in place. Internal Bluestein work buffers come from the
+// package buffer pool, so repeated same-length transforms allocate
+// nothing once dst is sized.
+func FFTInto(dst, x []complex128) []complex128 {
+	n := len(x)
+	if cap(dst) < n {
+		dst = make([]complex128, n)
 	}
-	return bluestein(out, false)
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	if n&(n-1) == 0 {
+		copy(dst, x)
+		radix2(dst, false)
+		return dst
+	}
+	bluestein(dst, x, false)
+	return dst
 }
 
 // IFFT computes the inverse DFT of x (normalized by 1/N) and returns a new
 // slice.
 func IFFT(x []complex128) []complex128 {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return nil
 	}
-	out := append([]complex128(nil), x...)
+	return IFFTInto(nil, x)
+}
+
+// IFFTInto is IFFT with append-style buffer reuse; dst == x is allowed.
+func IFFTInto(dst, x []complex128) []complex128 {
+	n := len(x)
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
 	if n&(n-1) == 0 {
-		radix2(out, true)
+		copy(dst, x)
+		radix2(dst, true)
 	} else {
-		out = bluestein(out, true)
+		bluestein(dst, x, true)
 	}
 	inv := complex(1/float64(n), 0)
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out
+	return dst
 }
 
 // radix2 performs an in-place iterative Cooley-Tukey FFT on a power-of-two
@@ -81,15 +112,17 @@ func radix2(a []complex128, inverse bool) {
 }
 
 // bluestein computes the DFT of arbitrary length via the chirp-z transform,
-// expressing it as a convolution evaluated with power-of-two FFTs.
-func bluestein(x []complex128, inverse bool) []complex128 {
+// expressing it as a convolution evaluated with power-of-two FFTs. The
+// result is written to dst (len n); dst may alias x. Work buffers are
+// pooled.
+func bluestein(dst, x []complex128, inverse bool) {
 	n := len(x)
 	sign := -1.0
 	if inverse {
 		sign = 1.0
 	}
 	// chirp[k] = e^{sign * jπ k² / n}
-	chirp := make([]complex128, n)
+	chirp := pool.Complex(n)
 	for k := 0; k < n; k++ {
 		// Reduce k² mod 2n to keep the angle argument small and precise.
 		kk := (int64(k) * int64(k)) % int64(2*n)
@@ -99,8 +132,12 @@ func bluestein(x []complex128, inverse bool) []complex128 {
 	for m < 2*n-1 {
 		m <<= 1
 	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
+	a := pool.Complex(m)
+	b := pool.Complex(m)
+	for i := range a {
+		a[i] = 0
+		b[i] = 0
+	}
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * chirp[k]
 		b[k] = cmplx.Conj(chirp[k])
@@ -115,11 +152,12 @@ func bluestein(x []complex128, inverse bool) []complex128 {
 	}
 	radix2(a, true)
 	invM := complex(1/float64(m), 0)
-	out := make([]complex128, n)
 	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * chirp[k]
+		dst[k] = a[k] * invM * chirp[k]
 	}
-	return out
+	pool.PutComplex(a)
+	pool.PutComplex(b)
+	pool.PutComplex(chirp)
 }
 
 // FFTFreqs returns the frequency (Hz) of each FFT bin for a given length and
@@ -141,15 +179,26 @@ func FFTFreqs(n int, sampleRate float64) []float64 {
 // PowerSpectrum returns |FFT(x)|²/N per bin, the periodogram estimate of the
 // power in each frequency bin.
 func PowerSpectrum(x []complex128) []float64 {
-	X := FFT(x)
-	out := make([]float64, len(X))
+	return PowerSpectrumInto(nil, x)
+}
+
+// PowerSpectrumInto is PowerSpectrum with append-style buffer reuse; the
+// intermediate transform lives in a pooled buffer.
+func PowerSpectrumInto(dst []float64, x []complex128) []float64 {
+	X := pool.Complex(len(x))
+	X = FFTInto(X, x)
+	if cap(dst) < len(X) {
+		dst = make([]float64, len(X))
+	}
+	dst = dst[:len(X)]
 	// Normalize by 1/N² so the sum over bins equals the mean power of x
 	// (Parseval's theorem).
 	inv2 := 1 / (float64(len(X)) * float64(len(X)))
 	for i, v := range X {
-		out[i] = (real(v)*real(v) + imag(v)*imag(v)) * inv2
+		dst[i] = (real(v)*real(v) + imag(v)*imag(v)) * inv2
 	}
-	return out
+	pool.PutComplex(X)
+	return dst
 }
 
 // DominantFrequency returns the frequency in Hz of the strongest spectral

@@ -102,7 +102,18 @@ func (f *FIR) Len() int { return len(f.Taps) }
 // length as x (the first len(taps)-1 outputs use an implicit zero history,
 // matching streaming behaviour).
 func (f *FIR) Filter(x []complex128) []complex128 {
-	out := make([]complex128, len(x))
+	return f.FilterInto(nil, x)
+}
+
+// FilterInto is Filter writing into dst's storage (append semantics: the
+// backing array is reused when cap(dst) >= len(x), otherwise a new slice
+// is allocated). dst must not alias x — the convolution reads x behind the
+// write cursor. It returns the len(x)-long result.
+func (f *FIR) FilterInto(dst, x []complex128) []complex128 {
+	if cap(dst) < len(x) {
+		dst = make([]complex128, len(x))
+	}
+	dst = dst[:len(x)]
 	for n := range x {
 		var acc complex128
 		for k, t := range f.Taps {
@@ -111,14 +122,23 @@ func (f *FIR) Filter(x []complex128) []complex128 {
 			}
 			acc += x[n-k] * complex(t, 0)
 		}
-		out[n] = acc
+		dst[n] = acc
 	}
-	return out
+	return dst
 }
 
 // FilterReal convolves a real signal with the taps.
 func (f *FIR) FilterReal(x []float64) []float64 {
-	out := make([]float64, len(x))
+	return f.FilterRealInto(nil, x)
+}
+
+// FilterRealInto is FilterReal with append-style buffer reuse; dst must
+// not alias x.
+func (f *FIR) FilterRealInto(dst, x []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
 	for n := range x {
 		acc := 0.0
 		for k, t := range f.Taps {
@@ -127,9 +147,9 @@ func (f *FIR) FilterReal(x []float64) []float64 {
 			}
 			acc += x[n-k] * t
 		}
-		out[n] = acc
+		dst[n] = acc
 	}
-	return out
+	return dst
 }
 
 // GainAt evaluates the filter's amplitude response |H(f)| at a frequency.
@@ -152,14 +172,24 @@ func (f *FIR) GroupDelay() float64 {
 // Decimate keeps every factor-th sample of x, after the caller has applied
 // appropriate anti-alias filtering. factor must be >= 1.
 func Decimate(x []complex128, factor int) []complex128 {
+	return DecimateInto(nil, x, factor)
+}
+
+// DecimateInto is Decimate with append-style buffer reuse. dst may alias x
+// (the write cursor never passes the read cursor).
+func DecimateInto(dst, x []complex128, factor int) []complex128 {
 	if factor < 1 {
 		panic("dsp: Decimate factor must be >= 1")
 	}
-	out := make([]complex128, 0, (len(x)+factor-1)/factor)
-	for i := 0; i < len(x); i += factor {
-		out = append(out, x[i])
+	n := (len(x) + factor - 1) / factor
+	if cap(dst) < n {
+		dst = make([]complex128, n)
 	}
-	return out
+	dst = dst[:n]
+	for i, j := 0, 0; i < len(x); i, j = i+factor, j+1 {
+		dst[j] = x[i]
+	}
+	return dst
 }
 
 // Upsample inserts factor-1 zeros between samples (to be followed by

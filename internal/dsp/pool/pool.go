@@ -1,0 +1,109 @@
+// Package pool provides size-classed, sync.Pool-backed scratch buffers for
+// the PHY sample pipeline. The hot path — waveform synthesis, channelizer
+// extraction, FIR decimation, demodulation — churns through short-lived
+// []complex128 and []float64 slices whose sizes repeat frame after frame;
+// recycling them removes the dominant GC pressure of the sample-domain
+// code.
+//
+// Ownership rules (see DESIGN.md §9):
+//
+//   - Complex/Float transfer ownership of the returned slice to the
+//     caller. The contents are arbitrary (NOT zeroed); callers must write
+//     every element they read.
+//   - PutComplex/PutFloat return ownership to the pool. After Put the
+//     caller must not touch the slice again; nothing may Put a slice it
+//     does not own, and a slice that has escaped to an API caller (e.g. a
+//     returned capture) must never be Put.
+//   - Slices obtained elsewhere (make, append growth) may be Put as long
+//     as they are not aliased; the pool size-classes by capacity.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxClass bounds the pooled size classes at 2^maxClass elements
+// (2^24 complex128 = 256 MiB); larger requests fall through to make and
+// are dropped on Put, so a single huge capture cannot pin memory forever.
+const maxClass = 24
+
+var complexPools [maxClass + 1]sync.Pool
+var floatPools [maxClass + 1]sync.Pool
+
+// class returns the size-class index for n elements: the smallest c with
+// 1<<c >= n, or -1 when n is out of pooled range.
+func class(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c > maxClass {
+		return -1
+	}
+	return c
+}
+
+// Complex returns a []complex128 of length n with arbitrary contents,
+// backed by a pooled array of capacity 2^⌈log2 n⌉. The caller owns it
+// until PutComplex.
+func Complex(n int) []complex128 {
+	c := class(n)
+	if c < 0 {
+		return make([]complex128, n)
+	}
+	if v := complexPools[c].Get(); v != nil {
+		return (*v.(*[]complex128))[:n]
+	}
+	return make([]complex128, n, 1<<c)
+}
+
+// PutComplex returns a buffer to its size class. Undersized or oversized
+// backing arrays are dropped.
+func PutComplex(buf []complex128) {
+	cp := cap(buf)
+	if cp == 0 {
+		return
+	}
+	c := class(cp)
+	if c < 0 || 1<<c != cp {
+		// Non-power-of-two capacity: file it under the class it can
+		// fully serve, if any.
+		c = bits.Len(uint(cp)) - 1
+		if c > maxClass {
+			return
+		}
+	}
+	full := buf[:cp]
+	complexPools[c].Put(&full)
+}
+
+// Float returns a []float64 of length n with arbitrary contents. The
+// caller owns it until PutFloat.
+func Float(n int) []float64 {
+	c := class(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if v := floatPools[c].Get(); v != nil {
+		return (*v.(*[]float64))[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloat returns a buffer to its size class.
+func PutFloat(buf []float64) {
+	cp := cap(buf)
+	if cp == 0 {
+		return
+	}
+	c := class(cp)
+	if c < 0 || 1<<c != cp {
+		c = bits.Len(uint(cp)) - 1
+		if c > maxClass {
+			return
+		}
+	}
+	full := buf[:cp]
+	floatPools[c].Put(&full)
+}

@@ -1,0 +1,73 @@
+package pool
+
+import "testing"
+
+func TestComplexRoundtrip(t *testing.T) {
+	b := Complex(100)
+	if len(b) != 100 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if cap(b) != 128 {
+		t.Fatalf("cap = %d, want next power of two", cap(b))
+	}
+	for i := range b {
+		b[i] = complex(float64(i), 0)
+	}
+	PutComplex(b)
+	c := Complex(128)
+	if cap(c) < 128 {
+		t.Fatalf("cap = %d", cap(c))
+	}
+}
+
+func TestFloatRoundtrip(t *testing.T) {
+	b := Float(33)
+	if len(b) != 33 || cap(b) != 64 {
+		t.Fatalf("len=%d cap=%d", len(b), cap(b))
+	}
+	PutFloat(b)
+	if got := Float(64); len(got) != 64 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestZeroAndHuge(t *testing.T) {
+	if b := Complex(0); len(b) != 0 {
+		t.Fatal("zero-length")
+	}
+	PutComplex(nil) // must not panic
+	PutFloat(nil)
+	huge := Complex((1 << maxClass) + 1)
+	if len(huge) != (1<<maxClass)+1 {
+		t.Fatal("huge request")
+	}
+	PutComplex(huge) // dropped, must not panic
+}
+
+func TestClassBoundaries(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1 << 10, 10}, {(1 << 10) + 1, 11},
+	} {
+		if got := class(tc.n); got != tc.want {
+			t.Errorf("class(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	if class(1<<maxClass+1) != -1 {
+		t.Error("oversize class should be -1")
+	}
+}
+
+// Steady-state Get/Put must not allocate beyond the first warm-up.
+func TestAllocFree(t *testing.T) {
+	b := Complex(4096)
+	PutComplex(b)
+	allocs := testing.AllocsPerRun(100, func() {
+		x := Complex(4096)
+		PutComplex(x)
+	})
+	// One alloc/op is the boxing of the *[]complex128 interface value on
+	// Put; the 64 KiB payload itself must be recycled.
+	if allocs > 1 {
+		t.Errorf("allocs/op = %.1f, want <= 1", allocs)
+	}
+}

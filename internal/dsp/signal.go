@@ -69,11 +69,20 @@ func Add(a, b []complex128) []complex128 {
 // Envelope returns |x| sample by sample — the output of an ideal envelope
 // detector, the first stage of the mmX AP's ASK demodulator.
 func Envelope(x []complex128) []float64 {
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = cmplx.Abs(v)
+	return EnvelopeInto(nil, x)
+}
+
+// EnvelopeInto is Envelope with append-style buffer reuse: dst's backing
+// array is reused when cap(dst) >= len(x).
+func EnvelopeInto(dst []float64, x []complex128) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
 	}
-	return out
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = cmplx.Abs(v)
+	}
+	return dst
 }
 
 // AddNoise adds complex AWGN with total noise power noisePower (variance
@@ -103,12 +112,21 @@ func MeasureSNR(sigPower, noisePower float64) float64 {
 
 // MixDown multiplies x by e^{-j2π f t}, shifting a tone at f down to DC.
 func MixDown(x []complex128, freqHz, sampleRate float64) []complex128 {
-	out := make([]complex128, len(x))
+	return MixDownInto(nil, x, freqHz, sampleRate)
+}
+
+// MixDownInto is MixDown with append-style buffer reuse. dst may alias x
+// (the mix is elementwise), so MixDownInto(x, x, ...) shifts in place.
+func MixDownInto(dst, x []complex128, freqHz, sampleRate float64) []complex128 {
+	if cap(dst) < len(x) {
+		dst = make([]complex128, len(x))
+	}
+	dst = dst[:len(x)]
 	w := -2 * math.Pi * freqHz / sampleRate
 	for i, v := range x {
-		out[i] = v * cmplx.Rect(1, w*float64(i))
+		dst[i] = v * cmplx.Rect(1, w*float64(i))
 	}
-	return out
+	return dst
 }
 
 // CrossCorrelate computes the sliding cross-correlation magnitude of x with
@@ -148,6 +166,12 @@ func ArgMax(xs []float64) int {
 // MovingAverage smooths xs with a centered boxcar of the given width
 // (clamped to odd, >= 1). Edges use the available neighborhood.
 func MovingAverage(xs []float64, width int) []float64 {
+	return MovingAverageInto(nil, xs, width)
+}
+
+// MovingAverageInto is MovingAverage with append-style buffer reuse. dst
+// must not alias xs (each output reads a neighborhood of inputs).
+func MovingAverageInto(dst, xs []float64, width int) []float64 {
 	if width < 1 {
 		width = 1
 	}
@@ -155,7 +179,10 @@ func MovingAverage(xs []float64, width int) []float64 {
 		width++
 	}
 	half := width / 2
-	out := make([]float64, len(xs))
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	out := dst[:len(xs)]
 	for i := range xs {
 		lo := i - half
 		if lo < 0 {

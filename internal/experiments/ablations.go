@@ -18,25 +18,26 @@ import (
 // randomEvaluations samples node placements the way §9.2 does and returns
 // the per-pose link evaluations for a given beam pair. orientSpreadDeg
 // bounds the random facing offset relative to the AP direction; blockLoS
-// places the paper's standing person in the room.
+// places the paper's standing person in the room. Each pose is one runner
+// trial drawing only from its own TrialRNG stream, so two calls with the
+// same seed evaluate identical poses regardless of beam pair or worker
+// count — the property the beam ablation's paired comparison relies on.
 func randomEvaluations(seed uint64, n int, beams antenna.NodeBeams, blockLoS bool, maxRefl int, orientSpreadDeg float64) []core.Evaluation {
-	rng := stats.NewRNG(seed)
-	env := channel.NewEnvironment(channel.NewLabRoom(rng), units.ISM24GHzCenter)
+	envRNG := stats.NewRNG(seed)
+	env := channel.NewEnvironment(channel.NewLabRoom(envRNG), units.ISM24GHzCenter)
 	env.MaxReflections = maxRefl
 	ap := channel.Pose{Pos: channel.Vec2{X: 0.3, Y: 2}, Orientation: 0}
 	if blockLoS {
-		env.Blockers = []*channel.Blocker{fixedLabBlocker(rng)}
+		env.Blockers = []*channel.Blocker{fixedLabBlocker(envRNG)}
 	}
-	out := make([]core.Evaluation, 0, n)
-	for i := 0; i < n; i++ {
+	return RunTrials(seed, n, func(i int, rng *stats.RNG) core.Evaluation {
 		pos := channel.Vec2{X: rng.Uniform(1, 5.75), Y: rng.Uniform(0.3, 3.7)}
 		toAP := ap.Pos.Sub(pos).Angle()
 		node := channel.Pose{Pos: pos, Orientation: toAP + units.Deg2Rad(rng.Uniform(-orientSpreadDeg, orientSpreadDeg))}
 		l := core.NewLink(env, node, ap)
 		l.Beams = beams
-		out = append(out, l.Evaluate())
-	}
-	return out
+		return l.Evaluate()
+	})
 }
 
 // fixedLabBlocker is the single person of §9.2 who "was blocking the
@@ -151,21 +152,32 @@ type AblationTMAResult struct{ Rows []AblationTMARow }
 
 // AblationTMA measures mean sideband suppression over random arrival
 // angles for growing arrays (more elements → more SDM slots and cleaner
-// separation).
+// separation). Each angle is one trial scoring all three array sizes, so
+// the sizes are compared on identical angle draws.
 func AblationTMA(seed uint64, angles int) AblationTMAResult {
-	rng := stats.NewRNG(seed)
+	sizes := []int{4, 8, 16}
+	arrays := make([]*tma.Array, len(sizes))
+	for i, n := range sizes {
+		arrays[i] = tma.NewSDMArray(n, 1e6)
+	}
+	sup := RunTrials(seed, angles, func(i int, rng *stats.RNG) [3]float64 {
+		th := rng.Uniform(-math.Pi/3, math.Pi/3)
+		var out [3]float64
+		for j, a := range arrays {
+			out[j] = a.SidebandSuppressionDB(th)
+		}
+		return out
+	})
 	var res AblationTMAResult
-	for _, n := range []int{4, 8, 16} {
-		a := tma.NewSDMArray(n, 1e6)
-		var sup []float64
-		for i := 0; i < angles; i++ {
-			th := rng.Uniform(-math.Pi/3, math.Pi/3)
-			sup = append(sup, a.SidebandSuppressionDB(th))
+	for j, n := range sizes {
+		col := make([]float64, len(sup))
+		for i := range sup {
+			col[i] = sup[i][j]
 		}
 		res.Rows = append(res.Rows, AblationTMARow{
 			Elements:          n,
-			Slots:             2*a.MaxHarmonic() + 1,
-			MeanSuppressionDB: stats.Mean(sup),
+			Slots:             2*arrays[j].MaxHarmonic() + 1,
+			MeanSuppressionDB: stats.Mean(col),
 		})
 	}
 	return res
@@ -192,17 +204,23 @@ type AblationSDMResult struct {
 }
 
 // AblationSDM offers more high-rate nodes than the 250 MHz band can hold
-// and shows SDM absorbing the overflow at usable SINR.
+// and shows SDM absorbing the overflow at usable SINR. The per-node poses
+// are drawn in parallel (one trial per offered node); admission itself is
+// inherently serial — the allocator's decisions depend on who already
+// joined — so the Join loop runs in offer order.
 func AblationSDM(seed uint64, offered int, demandBps float64) AblationSDMResult {
-	rng := stats.NewRNG(seed)
-	env := channel.NewEnvironment(channel.NewLabRoom(rng), units.ISM24GHzCenter)
+	envRNG := stats.NewRNG(seed)
+	env := channel.NewEnvironment(channel.NewLabRoom(envRNG), units.ISM24GHzCenter)
 	ap := channel.Pose{Pos: channel.Vec2{X: 0.3, Y: 2}, Orientation: 0}
+	poses := RunTrials(seed, offered, func(i int, rng *stats.RNG) channel.Pose {
+		pos := channel.Vec2{X: rng.Uniform(1, 5.5), Y: rng.Uniform(0.5, 3.5)}
+		orient := ap.Pos.Sub(pos).Angle() + rng.Uniform(-math.Pi/4, math.Pi/4)
+		return channel.Pose{Pos: pos, Orientation: orient}
+	})
 	nw := simnet.New(env, ap, seed+5)
 	res := AblationSDMResult{Offered: offered}
 	for id := 1; id <= offered; id++ {
-		pos := channel.Vec2{X: rng.Uniform(1, 5.5), Y: rng.Uniform(0.5, 3.5)}
-		orient := ap.Pos.Sub(pos).Angle() + rng.Uniform(-math.Pi/4, math.Pi/4)
-		node, err := nw.Join(uint32(id), channel.Pose{Pos: pos, Orientation: orient}, demandBps, simnet.HDCamera(8))
+		node, err := nw.Join(uint32(id), poses[id-1], demandBps, simnet.HDCamera(8))
 		if err != nil {
 			continue
 		}
@@ -237,8 +255,9 @@ type AblationSearchResult struct {
 	RadioPowerRatio float64
 }
 
-// AblationSearch runs both search strategies once and extrapolates the
-// daily energy bill of continuous re-alignment (§6's motivation).
+// AblationSearch runs both search strategies (as two parallel trials over
+// the shared environment) and extrapolates the daily energy bill of
+// continuous re-alignment (§6's motivation).
 func AblationSearch(seed uint64) AblationSearchResult {
 	rng := stats.NewRNG(seed)
 	env := channel.NewEnvironment(channel.NewRoom(10, 6, rng), units.ISM24GHzCenter)
@@ -247,8 +266,13 @@ func AblationSearch(seed uint64) AblationSearchResult {
 	p := baseline.NewPhasedArrayNode()
 	cb := baseline.UniformCodebook(64, units.Deg2Rad(120))
 	apPat := antenna.NewAPAntenna()
-	ex := p.ExhaustiveSearch(env, node, ap, apPat, cb)
-	hi := p.HierarchicalSearch(env, node, ap, apPat, cb)
+	searches := RunTrials(seed, 2, func(i int, _ *stats.RNG) baseline.SearchResult {
+		if i == 0 {
+			return p.ExhaustiveSearch(env, node, ap, apPat, cb)
+		}
+		return p.HierarchicalSearch(env, node, ap, apPat, cb)
+	})
+	ex, hi := searches[0], searches[1]
 	return AblationSearchResult{
 		ExhaustiveProbes:     ex.Probes,
 		HierarchicalProbes:   hi.Probes,

@@ -37,37 +37,44 @@ type Fig10Result struct {
 // side, node poses on a grid with random ±60° orientation and random
 // heights (±0.3 m of the AP, exercising the 65° elevation beam), and one
 // person standing in the room blocking the line-of-sight (of the
-// placements behind them) for the whole experiment.
+// placements behind them) for the whole experiment. Each grid cell is one
+// independent trial (its orientation and height come from the cell's own
+// TrialRNG stream), so the map parallelizes without changing a single
+// value.
 func Fig10(seed uint64, gridStep float64) Fig10Result {
-	rng := stats.NewRNG(seed)
-	heightRng := stats.NewRNG(seed + 7777) // separate stream: heights do not perturb placements
-	env := channel.NewEnvironment(channel.NewLabRoom(rng), units.ISM24GHzCenter)
+	envRNG := stats.NewRNG(seed)
+	env := channel.NewEnvironment(channel.NewLabRoom(envRNG), units.ISM24GHzCenter)
 	ap := channel.Pose{Pos: channel.Vec2{X: 0.3, Y: 2}, Orientation: 0}
-	env.Blockers = []*channel.Blocker{fixedLabBlocker(rng)}
+	env.Blockers = []*channel.Blocker{fixedLabBlocker(envRNG)}
 
-	var res Fig10Result
-	var gains []float64
+	var grid []channel.Vec2
 	for x := 1.0; x <= 5.75; x += gridStep {
 		for y := 0.5; y <= 3.5; y += gridStep {
-			pos := channel.Vec2{X: x, Y: y}
-			toAP := ap.Pos.Sub(pos).Angle()
-			off := rng.Uniform(-60, 60)
-			node := channel.Pose{
-				Pos:         pos,
-				Orientation: toAP + units.Deg2Rad(off),
-				Height:      heightRng.Uniform(-0.3, 0.3),
-			}
-			l := core.NewLink(env, node, ap)
-			ev := l.Evaluate()
-			res.Cells = append(res.Cells, Fig10Cell{
-				X: x, Y: y, OrientationDeg: off,
-				SNRWithout: ev.SNRWithoutOTAM,
-				SNRWith:    ev.SNRWithOTAM,
-			})
-			gains = append(gains, ev.SNRWithOTAM-ev.SNRWithoutOTAM)
+			grid = append(grid, channel.Vec2{X: x, Y: y})
 		}
 	}
+	cells := RunTrials(seed, len(grid), func(i int, rng *stats.RNG) Fig10Cell {
+		pos := grid[i]
+		toAP := ap.Pos.Sub(pos).Angle()
+		off := rng.Uniform(-60, 60)
+		node := channel.Pose{
+			Pos:         pos,
+			Orientation: toAP + units.Deg2Rad(off),
+			Height:      rng.Uniform(-0.3, 0.3),
+		}
+		ev := core.NewLink(env, node, ap).Evaluate()
+		return Fig10Cell{
+			X: pos.X, Y: pos.Y, OrientationDeg: off,
+			SNRWithout: ev.SNRWithoutOTAM,
+			SNRWith:    ev.SNRWithOTAM,
+		}
+	})
 	env.Blockers = nil
+	res := Fig10Result{Cells: cells}
+	gains := make([]float64, len(cells))
+	for i, c := range cells {
+		gains[i] = c.SNRWith - c.SNRWithout
+	}
 	n := float64(len(res.Cells))
 	for _, c := range res.Cells {
 		if c.SNRWithout < 5 {
@@ -123,27 +130,32 @@ type Fig11Result struct {
 
 // Fig11 measures SNR at random poses (like §9.3's 30 locations /
 // heights / orientations) and converts each to BER with the standard ASK
-// table.
+// table. Each pose is one independent trial; the environment is shared
+// read-only, so the CDF is byte-identical at any worker count.
 func Fig11(seed uint64, locations int) Fig11Result {
-	rng := stats.NewRNG(seed)
-	heightRng := stats.NewRNG(seed + 7777)
-	env := channel.NewEnvironment(channel.NewLabRoom(rng), units.ISM24GHzCenter)
+	envRNG := stats.NewRNG(seed)
+	env := channel.NewEnvironment(channel.NewLabRoom(envRNG), units.ISM24GHzCenter)
 	ap := channel.Pose{Pos: channel.Vec2{X: 0.3, Y: 2}, Orientation: 0}
-	env.Blockers = []*channel.Blocker{fixedLabBlocker(rng)}
-	var res Fig11Result
-	for i := 0; i < locations; i++ {
+	env.Blockers = []*channel.Blocker{fixedLabBlocker(envRNG)}
+	bers := RunTrials(seed, locations, func(i int, rng *stats.RNG) [2]float64 {
 		pos := channel.Vec2{X: rng.Uniform(1, 5.75), Y: rng.Uniform(0.3, 3.7)}
 		toAP := ap.Pos.Sub(pos).Angle()
 		node := channel.Pose{
 			Pos:         pos,
 			Orientation: toAP + units.Deg2Rad(rng.Uniform(-60, 60)),
-			Height:      heightRng.Uniform(-0.3, 0.3),
+			Height:      rng.Uniform(-0.3, 0.3),
 		}
 		ev := core.NewLink(env, node, ap).Evaluate()
-		res.BERWithout = append(res.BERWithout, ev.BERWithoutOTAM())
-		res.BERWith = append(res.BERWith, ev.BERWithOTAM())
-	}
+		return [2]float64{ev.BERWithoutOTAM(), ev.BERWithOTAM()}
+	})
 	env.Blockers = nil
+	var res Fig11Result
+	res.BERWithout = make([]float64, len(bers))
+	res.BERWith = make([]float64, len(bers))
+	for i, b := range bers {
+		res.BERWithout[i] = b[0]
+		res.BERWith[i] = b[1]
+	}
 	res.MedianWithout = stats.Median(res.BERWithout)
 	res.MedianWith = stats.Median(res.BERWith)
 	res.P90Without = stats.Percentile(res.BERWithout, 90)
@@ -191,23 +203,32 @@ type Fig12Result struct {
 	At18mFacing, At18mNotFacing float64
 }
 
-// Fig12 sweeps the node-AP distance in a long corridor-like space.
+// Fig12 sweeps the node-AP distance in a long corridor-like space. The
+// sweep is deterministic (no per-distance randomness), so each distance is
+// simply one trial over the shared environment.
 func Fig12(seed uint64, maxDistance float64, step float64) Fig12Result {
 	rng := stats.NewRNG(seed)
 	env := channel.NewEnvironment(channel.NewRoom(maxDistance+3, 6, rng), units.ISM24GHzCenter)
-	var res Fig12Result
-	y := 3.0
+	var distances []float64
 	for d := 1.0; d <= maxDistance+1e-9; d += step {
+		distances = append(distances, d)
+	}
+	const y = 3.0
+	points := RunTrials(seed, len(distances), func(i int, _ *stats.RNG) Fig12Point {
+		d := distances[i]
 		node := channel.Pose{Pos: channel.Vec2{X: 1, Y: y}}
 		ap := channel.Pose{Pos: channel.Vec2{X: 1 + d, Y: y}, Orientation: math.Pi}
 		facing := core.NewLink(env, node, ap).Evaluate().SNRWithOTAM
 		rot := node
 		rot.Orientation = units.Deg2Rad(30) // AP sits on a Beam 0 arm
 		notFacing := core.NewLink(env, rot, ap).Evaluate().SNRWithOTAM
-		res.Points = append(res.Points, Fig12Point{DistanceM: d, SNRFacing: facing, SNRNotFacing: notFacing})
-		if math.Abs(d-18) < step/2 {
-			res.At18mFacing = facing
-			res.At18mNotFacing = notFacing
+		return Fig12Point{DistanceM: d, SNRFacing: facing, SNRNotFacing: notFacing}
+	})
+	res := Fig12Result{Points: points}
+	for _, p := range points {
+		if math.Abs(p.DistanceM-18) < step/2 {
+			res.At18mFacing = p.SNRFacing
+			res.At18mNotFacing = p.SNRNotFacing
 		}
 	}
 	return res

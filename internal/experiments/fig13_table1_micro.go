@@ -31,29 +31,43 @@ type Fig13Result struct {
 // Fig13 runs the §9.5 protocol: for each network size, many trials with
 // nodes at random lab positions and orientations transmitting
 // simultaneously (FDM with SDM fallback), measuring each node's SINR at
-// the AP.
+// the AP. Every (size, trial) pair builds its own environment and network
+// from its own TrialRNG stream, so the whole grid fans out in parallel.
 func Fig13(seed uint64, sizes []int, trials int) Fig13Result {
-	var res Fig13Result
-	for _, n := range sizes {
-		var all []float64
-		for trial := 0; trial < trials; trial++ {
-			trialSeed := seed + uint64(n*1000+trial)
-			rng := stats.NewRNG(trialSeed)
-			env := channel.NewEnvironment(channel.NewLabRoom(rng), units.ISM24GHzCenter)
-			ap := channel.Pose{Pos: channel.Vec2{X: 0.3, Y: 2}, Orientation: 0}
-			nw := simnet.New(env, ap, trialSeed+7)
-			for id := 1; id <= n; id++ {
-				pos := channel.Vec2{X: rng.Uniform(1, 5.5), Y: rng.Uniform(0.5, 3.5)}
-				orient := ap.Pos.Sub(pos).Angle() + rng.Uniform(-math.Pi/3, math.Pi/3)
-				// Each node occupies a 25 MHz sub-band demand-wise
-				// (≈ the paper's per-node capture bandwidth) until FDM
-				// runs out, then shares via SDM.
-				if _, err := nw.Join(uint32(id), channel.Pose{Pos: pos, Orientation: orient}, 20e6, simnet.HDCamera(8)); err != nil {
-					continue
-				}
+	type job struct{ sizeIdx, nodes int }
+	var jobs []job
+	for i, n := range sizes {
+		for t := 0; t < trials; t++ {
+			jobs = append(jobs, job{sizeIdx: i, nodes: n})
+		}
+	}
+	sinrs := RunTrials(seed, len(jobs), func(i int, rng *stats.RNG) []float64 {
+		n := jobs[i].nodes
+		env := channel.NewEnvironment(channel.NewLabRoom(rng), units.ISM24GHzCenter)
+		ap := channel.Pose{Pos: channel.Vec2{X: 0.3, Y: 2}, Orientation: 0}
+		nw := simnet.New(env, ap, rng.Uint64())
+		for id := 1; id <= n; id++ {
+			pos := channel.Vec2{X: rng.Uniform(1, 5.5), Y: rng.Uniform(0.5, 3.5)}
+			orient := ap.Pos.Sub(pos).Angle() + rng.Uniform(-math.Pi/3, math.Pi/3)
+			// Each node occupies a 25 MHz sub-band demand-wise
+			// (≈ the paper's per-node capture bandwidth) until FDM
+			// runs out, then shares via SDM.
+			if _, err := nw.Join(uint32(id), channel.Pose{Pos: pos, Orientation: orient}, 20e6, simnet.HDCamera(8)); err != nil {
+				continue
 			}
-			for _, r := range nw.EvaluateSINR() {
-				all = append(all, r.SINRdB)
+		}
+		var out []float64
+		for _, r := range nw.EvaluateSINR() {
+			out = append(out, r.SINRdB)
+		}
+		return out
+	})
+	var res Fig13Result
+	for i, n := range sizes {
+		var all []float64
+		for j, jb := range jobs {
+			if jb.sizeIdx == i {
+				all = append(all, sinrs[j]...)
 			}
 		}
 		p := Fig13Point{
@@ -94,9 +108,15 @@ type Table1Result struct {
 	Platforms []comparison.Platform
 }
 
-// Table1 regenerates the paper's Table 1.
+// Table1 regenerates the paper's Table 1, materializing each platform row
+// as one (deterministic) runner trial — the mmX row re-derives its numbers
+// from the component models; the others carry the cited specs.
 func Table1() Table1Result {
-	return Table1Result{Platforms: comparison.Table1()}
+	n := len(comparison.Table1())
+	rows := RunTrials(0, n, func(i int, _ *stats.RNG) comparison.Platform {
+		return comparison.Table1()[i]
+	})
+	return Table1Result{Platforms: rows}
 }
 
 // String renders Table 1.

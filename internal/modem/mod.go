@@ -57,8 +57,19 @@ func (c Config) BitDuration() float64 { return 1 / c.SymbolRate }
 // conventional ASK transmitter they are the high/low modulator amplitudes
 // times a common channel gain.
 func Synthesize(cfg Config, bits []bool, g0, g1 complex128) []complex128 {
+	return SynthesizeInto(nil, cfg, bits, g0, g1)
+}
+
+// SynthesizeInto is Synthesize with append-style buffer reuse: the
+// waveform is written into dst's storage when its capacity suffices
+// (len(bits)·spb samples), otherwise a new slice is allocated.
+func SynthesizeInto(dst []complex128, cfg Config, bits []bool, g0, g1 complex128) []complex128 {
 	spb := cfg.SamplesPerSymbol()
-	out := make([]complex128, len(bits)*spb)
+	n := len(bits) * spb
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	out := dst[:n]
 	phase := 0.0
 	i := 0
 	for _, b := range bits {

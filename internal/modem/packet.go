@@ -73,17 +73,36 @@ func BitsToBytes(bits []bool) []byte {
 // BuildFrame wraps a payload into a transmittable bit stream:
 // preamble + length + payload + CRC-32 (IEEE).
 func BuildFrame(payload []byte) ([]bool, error) {
+	return AppendFrame(nil, payload)
+}
+
+// AppendFrame is BuildFrame with append-style buffer reuse: the frame bits
+// are appended to dst (which may be nil or a recycled buffer resliced to
+// zero length). With sufficient capacity it allocates nothing.
+func AppendFrame(dst []bool, payload []byte) ([]bool, error) {
 	if len(payload) > MaxPayload {
 		return nil, ErrPayloadTooLong
 	}
-	body := make([]byte, 0, lenFieldBytes+len(payload)+crcBytes)
-	body = binary.BigEndian.AppendUint16(body, uint16(len(payload)))
-	body = append(body, payload...)
-	body = binary.BigEndian.AppendUint32(body, crc32.ChecksumIEEE(payload))
-	bits := make([]bool, 0, len(Preamble)+len(body)*8)
-	bits = append(bits, Preamble...)
-	bits = append(bits, BytesToBits(body)...)
-	return bits, nil
+	dst = append(dst, Preamble...)
+	n := uint16(len(payload))
+	dst = appendByteBits(dst, byte(n>>8))
+	dst = appendByteBits(dst, byte(n))
+	for _, b := range payload {
+		dst = appendByteBits(dst, b)
+	}
+	crc := crc32.ChecksumIEEE(payload)
+	for shift := 24; shift >= 0; shift -= 8 {
+		dst = appendByteBits(dst, byte(crc>>uint(shift)))
+	}
+	return dst, nil
+}
+
+// appendByteBits appends one byte MSB-first.
+func appendByteBits(dst []bool, b byte) []bool {
+	for i := 7; i >= 0; i-- {
+		dst = append(dst, b&(1<<uint(i)) != 0)
+	}
+	return dst
 }
 
 // FrameBits returns the total number of bits in a frame carrying n payload

@@ -48,6 +48,9 @@ func (s *StreamReceiver) ReceiveAll(x []complex128, payloadLen int) []StreamFram
 		payload, perr := ParseFrame(res.Bits)
 		if perr == nil {
 			res.Offset = base + offset
+			// The demodulator reuses its bit buffer on the next call;
+			// copy before retaining the result across iterations.
+			res.Bits = append([]bool(nil), res.Bits...)
 			out = append(out, StreamFrame{
 				Payload: payload,
 				Offset:  res.Offset,

@@ -3,6 +3,7 @@ package rf
 import (
 	"errors"
 	"math"
+	"math/cmplx"
 
 	"mmx/internal/stats"
 	"mmx/internal/units"
@@ -145,4 +146,18 @@ func (v *VCO) PhaseNoiseTrack(n int, sampleRate float64, rng *stats.RNG) []float
 		out[i] = phase
 	}
 	return out
+}
+
+// ApplyPhaseNoise rotates a complex baseband waveform by the same Wiener
+// phase walk PhaseNoiseTrack generates, in place and without materializing
+// the track — the allocation-free variant for the per-frame transmit path.
+// It consumes exactly len(x) draws from rng, so a transmit chain switching
+// between the two APIs stays reproducible.
+func (v *VCO) ApplyPhaseNoise(x []complex128, sampleRate float64, rng *stats.RNG) {
+	sigma := math.Sqrt(2 * math.Pi * LinewidthHz / sampleRate)
+	phase := 0.0
+	for i := range x {
+		phase += rng.Normal(0, sigma)
+		x[i] *= cmplx.Rect(1, phase)
+	}
 }

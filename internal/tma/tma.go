@@ -16,6 +16,8 @@ package tma
 import (
 	"math"
 	"math/cmplx"
+
+	"mmx/internal/dsp/pool"
 )
 
 // Schedule describes each element's periodic on-window as fractions of the
@@ -207,6 +209,13 @@ type Source struct {
 // sources, sampled at fs: y[t] = Σ_i s_i[t]·Σ_n w_n(t)·e^{j2πd·n·sinθ_i}.
 // The output length is the shortest source.
 func (a *Array) Mix(sources []Source, fs float64) []complex128 {
+	return a.MixInto(nil, sources, fs)
+}
+
+// MixInto is Mix with append-style buffer reuse: the output is written
+// into dst's storage when its capacity suffices. The per-source element
+// phase table lives in a pooled scratch buffer.
+func (a *Array) MixInto(dst []complex128, sources []Source, fs float64) []complex128 {
 	if len(sources) == 0 {
 		return nil
 	}
@@ -216,28 +225,34 @@ func (a *Array) Mix(sources []Source, fs float64) []complex128 {
 			n = len(s.Baseband)
 		}
 	}
-	// Precompute per-source element phases.
-	phases := make([][]complex128, len(sources))
+	// Precompute per-source element phases (source i, element e at
+	// phases[i*a.N+e]).
+	phases := pool.Complex(len(sources) * a.N)
 	for i, s := range sources {
-		phases[i] = make([]complex128, a.N)
 		pe := 2 * math.Pi * a.SpacingWl * math.Sin(s.Theta)
 		for e := 0; e < a.N; e++ {
-			phases[i][e] = cmplx.Rect(1, pe*float64(e))
+			phases[i*a.N+e] = cmplx.Rect(1, pe*float64(e))
 		}
 	}
-	out := make([]complex128, n)
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	out := dst[:n]
 	for t := 0; t < n; t++ {
 		frac := math.Mod(float64(t)*a.SwitchRateHz/fs, 1)
+		var acc complex128
 		for i, s := range sources {
 			var sum complex128
 			for e := 0; e < a.N; e++ {
 				if a.Schedule.Gate(e, frac) > 0 {
-					sum += phases[i][e]
+					sum += phases[i*a.N+e]
 				}
 			}
-			out[t] += s.Baseband[t] * sum
+			acc += s.Baseband[t] * sum
 		}
+		out[t] = acc
 	}
+	pool.PutComplex(phases)
 	return out
 }
 
@@ -246,16 +261,25 @@ func (a *Array) Mix(sources []Source, fs float64) []complex128 {
 // over one switching period, the matched filter for the rectangular
 // gating.
 func (a *Array) Extract(y []complex128, m int, fs float64) []complex128 {
+	return a.ExtractInto(nil, y, m, fs)
+}
+
+// ExtractInto is Extract with append-style buffer reuse; the mixed-down
+// intermediate lives in a pooled scratch buffer. dst must not alias y.
+func (a *Array) ExtractInto(dst, y []complex128, m int, fs float64) []complex128 {
 	shift := -2 * math.Pi * float64(m) * a.SwitchRateHz / fs
 	period := int(math.Round(fs / a.SwitchRateHz))
 	if period < 1 {
 		period = 1
 	}
-	mixed := make([]complex128, len(y))
+	mixed := pool.Complex(len(y))
 	for t := range y {
 		mixed[t] = y[t] * cmplx.Rect(1, shift*float64(t))
 	}
-	out := make([]complex128, len(y))
+	if cap(dst) < len(y) {
+		dst = make([]complex128, len(y))
+	}
+	out := dst[:len(y)]
 	var acc complex128
 	for t := range mixed {
 		acc += mixed[t]
@@ -268,5 +292,6 @@ func (a *Array) Extract(y []complex128, m int, fs float64) []complex128 {
 		}
 		out[t] = acc / complex(float64(den), 0)
 	}
+	pool.PutComplex(mixed)
 	return out
 }
