@@ -2,9 +2,13 @@ GO ?= go
 
 # Benchmarks gated by the perf-regression harness: the end-to-end frame
 # roundtrip, the network SINR engine, and the Fig. 11 BER CDF (the
-# Monte Carlo fan-out hot path).
+# Monte Carlo fan-out hot path). The AP wideband demux (polyphase
+# filterbank vs legacy per-channel loop) is gated separately so its
+# baseline can be refreshed without touching the PHY numbers.
 BENCH_PATTERN  ?= OTAMFrameRoundtrip|NetworkSINREvaluation|Fig11BERCDF
 BENCH_BASELINE ?= BENCH_phy.json
+BENCH_AP_PATTERN  ?= APWidebandDemux
+BENCH_AP_BASELINE ?= BENCH_ap.json
 BENCH_OUT      ?= bench.out
 
 .PHONY: build test bench bench-baseline bench-check profile clean
@@ -23,14 +27,18 @@ bench: bench-baseline
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . > $(BENCH_OUT)
 	$(GO) run ./cmd/mmx-benchstat -emit -o $(BENCH_BASELINE) < $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench '$(BENCH_AP_PATTERN)' -benchmem . > $(BENCH_OUT)
+	$(GO) run ./cmd/mmx-benchstat -emit -o $(BENCH_AP_BASELINE) < $(BENCH_OUT)
 	@rm -f $(BENCH_OUT)
-	@echo "wrote $(BENCH_BASELINE)"
+	@echo "wrote $(BENCH_BASELINE) $(BENCH_AP_BASELINE)"
 
 # bench-check reruns the gated benchmarks and fails on >15% ns/op
-# regression or any allocs/op increase against the committed baseline.
+# regression or any allocs/op increase against the committed baselines.
 bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . > $(BENCH_OUT)
 	$(GO) run ./cmd/mmx-benchstat -check -baseline $(BENCH_BASELINE) < $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench '$(BENCH_AP_PATTERN)' -benchmem . > $(BENCH_OUT)
+	$(GO) run ./cmd/mmx-benchstat -check -baseline $(BENCH_AP_BASELINE) < $(BENCH_OUT)
 	@rm -f $(BENCH_OUT)
 
 # profile runs a representative simulation under the pprof CPU and heap

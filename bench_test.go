@@ -10,7 +10,11 @@ import (
 	"fmt"
 	"testing"
 
+	"mmx/internal/apdsp"
+	"mmx/internal/dsp"
 	"mmx/internal/experiments"
+	"mmx/internal/stats"
+	"mmx/internal/units"
 )
 
 func BenchmarkFig7VCOTuning(b *testing.B) {
@@ -189,6 +193,74 @@ func BenchmarkNetworkSINREvaluation(b *testing.B) {
 	for _, size := range []int{20, 100, 500} {
 		b.Run(fmt.Sprintf("nodes=%d", size), bench(size, 0))
 		b.Run(fmt.Sprintf("nodes=%d/serial", size), bench(size, 1))
+	}
+}
+
+// BenchmarkAPWidebandDemux measures the AP's channel-demultiplexing front
+// end at growing channel counts: the one-pass polyphase filterbank
+// (ExtractAllInto — every channel from a single sweep) against the legacy
+// per-channel loop (mix, FIR, decimate once per channel). Both share the
+// same prototype design; the bank's advantage grows with the channel
+// count because its per-output cost is taps/bins MACs plus an FFT bin
+// instead of a full mix+filter pass per channel. Bins is a power of two,
+// so the bank's steady-state path is pool-free and must report 0
+// allocs/op — the gate in BENCH_ap.json pins that.
+func BenchmarkAPWidebandDemux(b *testing.B) {
+	const (
+		rate    = 250e6
+		bins    = 256 // power of two: FFT stays on the in-place radix-2 path
+		samples = 32768
+		width   = 1.5e6
+		decim   = 128
+	)
+	const outRate = rate / decim
+	const spacing = rate / bins
+	center := units.ISM24GHzCenter
+	x := make([]complex128, samples)
+	dsp.AddNoise(x, 1.0, stats.NewRNG(42))
+	for _, n := range []int{10, 50, 200} {
+		channels := make([]float64, n)
+		for i := range channels {
+			channels[i] = center + float64(i-n/2)*spacing
+		}
+		b.Run(fmt.Sprintf("channels=%d/bank", n), func(b *testing.B) {
+			bank := apdsp.NewFilterBank(rate, center, bins)
+			plan := make([]apdsp.BankChannel, n)
+			for i, c := range channels {
+				plan[i] = apdsp.BankChannel{ChannelHz: c}
+			}
+			if err := bank.Configure(width, outRate, plan); err != nil {
+				b.Fatal(err)
+			}
+			dsts, err := bank.ExtractAll(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bank.ExtractAllInto(dsts, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("channels=%d/legacy", n), func(b *testing.B) {
+			chz := apdsp.NewChannelizer(rate, center)
+			dsts := make([][]complex128, n)
+			var err error
+			for i, c := range channels {
+				if dsts[i], err = chz.ExtractInto(nil, x, c, width, outRate); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, c := range channels {
+					if dsts[j], err = chz.ExtractInto(dsts[j], x, c, width, outRate); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -30,9 +30,16 @@ import (
 	"mmx/internal/tma"
 )
 
-// Channelizer splits a wideband capture into per-channel basebands. It is
-// not safe for concurrent use (the filter-design cache is unsynchronized);
-// give each worker its own Channelizer.
+// Channelizer splits a wideband capture into per-channel basebands, one
+// channel per ExtractInto call. For the one-pass many-channel front end
+// see FilterBank; the Channelizer remains the reference implementation
+// the bank is pinned against.
+//
+// Concurrency contract: a Channelizer is NOT safe for concurrent use —
+// the filter-design cache below is unsynchronized by design (the hot path
+// must not pay for locks). Give each worker goroutine its own Channelizer;
+// they share nothing. TestChannelizerPerWorkerIsRaceFree pins this usage
+// under the race detector.
 type Channelizer struct {
 	// WidebandRate is the capture's complex sample rate (Hz).
 	WidebandRate float64
@@ -45,11 +52,15 @@ type Channelizer struct {
 	// Taps sets the anti-alias FIR length (default 129 when zero).
 	Taps int
 
-	// Cached anti-alias design, keyed by the effective cutoff and tap
-	// count of the last ExtractInto call.
+	// Cached anti-alias design, keyed by the effective (cutoff, taps,
+	// rate) triple of the last ExtractInto call — all three enter the
+	// windowed-sinc design, so a change to any of them (including
+	// retargeting the Channelizer to a different capture rate) must
+	// invalidate the cache.
 	lp       *dsp.FIR
 	lpCutoff float64
 	lpTaps   int
+	lpRate   float64
 }
 
 // NewChannelizer returns a channelizer for a capture of the given rate
@@ -62,6 +73,7 @@ func NewChannelizer(widebandRate, centerHz float64) *Channelizer {
 var (
 	ErrBadChannel = errors.New("apdsp: channel not representable in this capture")
 	ErrBadRate    = errors.New("apdsp: output rate must integer-divide the wideband rate")
+	ErrAliased    = errors.New("apdsp: dst must not alias the capture")
 )
 
 // Extract returns the baseband stream of one FDM channel: the capture
@@ -78,6 +90,9 @@ func (c *Channelizer) Extract(x []complex128, channelHz, widthHz, outRate float6
 // once dst is warm. dst must not alias x. The anti-alias filter design
 // (tap computation) is cached per (width, rate, taps) in the Channelizer.
 func (c *Channelizer) ExtractInto(dst, x []complex128, channelHz, widthHz, outRate float64) ([]complex128, error) {
+	if dsp.Aliases(dst, x) {
+		return nil, ErrAliased
+	}
 	offset := channelHz - c.CenterHz
 	if math.Abs(offset)+widthHz/2 > c.WidebandRate/2 {
 		return nil, ErrBadChannel
@@ -98,9 +113,9 @@ func (c *Channelizer) ExtractInto(dst, x []complex128, channelHz, widthHz, outRa
 		taps = 129
 	}
 	cutoff := widthHz / 2 * (1 + tf)
-	if c.lp == nil || c.lpCutoff != cutoff || c.lpTaps != taps {
+	if c.lp == nil || c.lpCutoff != cutoff || c.lpTaps != taps || c.lpRate != c.WidebandRate {
 		c.lp = dsp.LowPass(cutoff, c.WidebandRate, taps)
-		c.lpCutoff, c.lpTaps = cutoff, taps
+		c.lpCutoff, c.lpTaps, c.lpRate = cutoff, taps, c.WidebandRate
 	}
 	mixed := pool.Complex(len(x))
 	mixed = dsp.MixDownInto(mixed, x, offset, c.WidebandRate)

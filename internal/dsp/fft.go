@@ -1,10 +1,6 @@
 package dsp
 
 import (
-	"math"
-	"math/bits"
-	"math/cmplx"
-
 	"mmx/internal/dsp/pool"
 )
 
@@ -21,25 +17,16 @@ func FFT(x []complex128) []complex128 {
 
 // FFTInto is FFT with append-style buffer reuse: the transform is written
 // into dst's storage when cap(dst) >= len(x). dst == x computes the
-// transform in place. Internal Bluestein work buffers come from the
-// package buffer pool, so repeated same-length transforms allocate
-// nothing once dst is sized.
+// transform in place. The twiddle/bit-reversal (and, for non-power-of-two
+// lengths, Bluestein chirp) tables come from the process-wide plan cache
+// (PlanFFT) and Bluestein work buffers from the package buffer pool, so
+// repeated same-length transforms allocate nothing once dst is sized.
 func FFTInto(dst, x []complex128) []complex128 {
 	n := len(x)
-	if cap(dst) < n {
-		dst = make([]complex128, n)
-	}
-	dst = dst[:n]
 	if n == 0 {
-		return dst
+		return dst[:0]
 	}
-	if n&(n-1) == 0 {
-		copy(dst, x)
-		radix2(dst, false)
-		return dst
-	}
-	bluestein(dst, x, false)
-	return dst
+	return PlanFFT(n).Forward(dst, x)
 }
 
 // IFFT computes the inverse DFT of x (normalized by 1/N) and returns a new
@@ -52,112 +39,13 @@ func IFFT(x []complex128) []complex128 {
 }
 
 // IFFTInto is IFFT with append-style buffer reuse; dst == x is allowed.
+// Like FFTInto it executes against the cached plan for len(x).
 func IFFTInto(dst, x []complex128) []complex128 {
 	n := len(x)
-	if cap(dst) < n {
-		dst = make([]complex128, n)
-	}
-	dst = dst[:n]
 	if n == 0 {
-		return dst
+		return dst[:0]
 	}
-	if n&(n-1) == 0 {
-		copy(dst, x)
-		radix2(dst, true)
-	} else {
-		bluestein(dst, x, true)
-	}
-	inv := complex(1/float64(n), 0)
-	for i := range dst {
-		dst[i] *= inv
-	}
-	return dst
-}
-
-// radix2 performs an in-place iterative Cooley-Tukey FFT on a power-of-two
-// length slice. If inverse, the conjugate twiddles are used (without the
-// 1/N normalization).
-func radix2(a []complex128, inverse bool) {
-	n := len(a)
-	if n <= 1 {
-		return
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			a[i], a[j] = a[j], a[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := cmplx.Rect(1, step)
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				u := a[start+k]
-				v := a[start+k+half] * w
-				a[start+k] = u + v
-				a[start+k+half] = u - v
-				w *= wBase
-			}
-		}
-	}
-}
-
-// bluestein computes the DFT of arbitrary length via the chirp-z transform,
-// expressing it as a convolution evaluated with power-of-two FFTs. The
-// result is written to dst (len n); dst may alias x. Work buffers are
-// pooled.
-func bluestein(dst, x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// chirp[k] = e^{sign * jπ k² / n}
-	chirp := pool.Complex(n)
-	for k := 0; k < n; k++ {
-		// Reduce k² mod 2n to keep the angle argument small and precise.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := pool.Complex(m)
-	b := pool.Complex(m)
-	for i := range a {
-		a[i] = 0
-		b[i] = 0
-	}
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	invM := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		dst[k] = a[k] * invM * chirp[k]
-	}
-	pool.PutComplex(a)
-	pool.PutComplex(b)
-	pool.PutComplex(chirp)
+	return PlanFFT(n).Inverse(dst, x)
 }
 
 // FFTFreqs returns the frequency (Hz) of each FFT bin for a given length and

@@ -1,0 +1,114 @@
+package dsp
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// TestFilterOverlapSaveMatchesDirect pins the overlap-save path to the
+// direct convolution across tap counts above the crossover and input
+// lengths that exercise partial first/last blocks.
+func TestFilterOverlapSaveMatchesDirect(t *testing.T) {
+	for _, taps := range []int{65, 129, 257} {
+		lp := LowPass(0.1, 1, taps)
+		for _, n := range []int{2 * taps, 1000, 4096, 8191} {
+			x := randComplex(n, uint64(taps*n))
+			got := lp.FilterInto(nil, x)
+			want := make([]complex128, n)
+			lp.filterDirect(want, x)
+			for i := range want {
+				if d := cmplx.Abs(got[i] - want[i]); d > 1e-9 {
+					t.Fatalf("taps=%d n=%d: OLS deviates from direct at %d by %.3g", taps, n, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterShortInputStaysDirect: inputs below the 2×taps threshold take
+// the direct path and still produce the exact streaming convolution.
+func TestFilterShortInputStaysDirect(t *testing.T) {
+	lp := LowPass(0.1, 1, 129)
+	x := randComplex(200, 3)
+	got := lp.FilterInto(nil, x)
+	want := make([]complex128, len(x))
+	lp.filterDirect(want, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("short input should convolve directly (mismatch at %d)", i)
+		}
+	}
+}
+
+func TestFilterIntoRejectsAliasedDst(t *testing.T) {
+	lp := LowPass(0.1, 1, 31)
+	arr := make([]complex128, 600)
+	x := arr[:256]
+	// dst = x itself, and a capacity-sufficient window offset into x's
+	// backing array. (An aliasing dst with cap < len(x) is reallocated,
+	// not reused, so it cannot corrupt and is not rejected.)
+	for _, alias := range [][]complex128{x, arr[100:100:600]} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("aliasing dst must panic")
+				}
+			}()
+			lp.FilterInto(alias, x)
+		}()
+	}
+	// Disjoint halves of one array do not alias.
+	backing := make([]complex128, 512)
+	lp.FilterInto(backing[:0:256], backing[256:])
+}
+
+// TestFilterOLSWarmAllocationFree: once the tap response is cached and dst
+// is sized, overlap-save filtering allocates nothing.
+func TestFilterOLSWarmAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	lp := LowPass(0.1, 1, 129)
+	x := randComplex(4096, 11)
+	dst := lp.FilterInto(nil, x)
+	allocs := testing.AllocsPerRun(20, func() {
+		dst = lp.FilterInto(dst, x)
+	})
+	if allocs != 0 {
+		t.Errorf("allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestFilterOLSConcurrentUse: a shared FIR may filter from many
+// goroutines; the lazily built response is constructed exactly once and
+// the block scratch is per-call. Run under -race in CI.
+func TestFilterOLSConcurrentUse(t *testing.T) {
+	lp := LowPass(0.1, 1, 129)
+	x := randComplex(2048, 5)
+	want := make([]complex128, len(x))
+	lp.filterDirect(want, x)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			y := lp.FilterInto(nil, x)
+			for i := range want {
+				if cmplx.Abs(y[i]-want[i]) > 1e-9 {
+					done <- errMismatch
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errorString("concurrent OLS result deviates from direct")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,255 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+
+	"mmx/internal/dsp/pool"
+)
+
+// FFT plan cache. Every transform of a given length reuses the same
+// precomputed tables: the bit-reversal permutation and per-stage twiddle
+// factors for power-of-two lengths, plus the Bluestein chirp sequence and
+// the FFT of its filter for every other length. Plans are immutable after
+// construction and shared process-wide, so repeated same-size transforms —
+// the filterbank's per-block FFT, overlap-save convolution blocks, the
+// demodulator's spectral probes — stop re-deriving trigonometry on every
+// call. Per-call state (Bluestein work buffers) comes from the package
+// buffer pool, keeping plan execution safe for concurrent use and
+// allocation-free in steady state.
+
+// FFTPlan holds the precomputed tables for transforms of one length.
+// Obtain one with PlanFFT; the zero value is not usable. A plan is
+// immutable and safe for concurrent use.
+type FFTPlan struct {
+	n int
+
+	// Power-of-two path: bit-reversal permutation and forward twiddles,
+	// flattened stage by stage (stage of size s contributes s/2 entries:
+	// w_s^k = e^{-j2πk/s}). Inverse transforms conjugate on the fly.
+	perm    []int32
+	twiddle []complex128
+
+	// Bluestein path (n not a power of two): chirp[k] = e^{-jπk²/n}, and
+	// bfft = FFT_m(b) where b is the chirp filter of the convolution form
+	// of the chirp-z transform, evaluated at the power-of-two size m.
+	chirp []complex128
+	bfft  []complex128
+	sub   *FFTPlan // plan for the embedded size-m transforms
+}
+
+var planCache sync.Map // int → *FFTPlan
+
+// PlanFFT returns the process-wide shared plan for length-n transforms,
+// building and caching it on first use. n must be positive.
+func PlanFFT(n int) *FFTPlan {
+	if n <= 0 {
+		panic("dsp: PlanFFT length must be positive")
+	}
+	if p, ok := planCache.Load(n); ok {
+		return p.(*FFTPlan)
+	}
+	p := newPlan(n)
+	// Two goroutines may build the same plan concurrently; the first
+	// stored copy wins so every caller shares one set of tables.
+	if prev, loaded := planCache.LoadOrStore(n, p); loaded {
+		return prev.(*FFTPlan)
+	}
+	return p
+}
+
+// Len returns the transform length the plan serves.
+func (p *FFTPlan) Len() int { return p.n }
+
+func newPlan(n int) *FFTPlan {
+	p := &FFTPlan{n: n}
+	if n&(n-1) == 0 {
+		p.initRadix2(n)
+		return p
+	}
+	// Bluestein: embed the length-n chirp-z transform in power-of-two
+	// circular convolutions of size m >= 2n-1.
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p.sub = PlanFFT(m)
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Reduce k² mod 2n to keep the angle argument small and precise.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		p.chirp[k] = cmplx.Rect(1, -math.Pi*float64(kk)/float64(n))
+	}
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		b[k] = cmplx.Conj(p.chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(p.chirp[k])
+	}
+	p.sub.forwardInPlace(b)
+	p.bfft = b
+	return p
+}
+
+func (p *FFTPlan) initRadix2(n int) {
+	p.perm = make([]int32, n)
+	if n > 1 {
+		shift := 64 - uint(bits.TrailingZeros(uint(n)))
+		for i := 0; i < n; i++ {
+			p.perm[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+		}
+	}
+	if n >= 2 {
+		p.twiddle = make([]complex128, n-1)
+		idx := 0
+		for size := 2; size <= n; size <<= 1 {
+			half := size >> 1
+			step := -2 * math.Pi / float64(size)
+			for k := 0; k < half; k++ {
+				p.twiddle[idx] = cmplx.Rect(1, step*float64(k))
+				idx++
+			}
+		}
+	}
+}
+
+// Forward computes the unnormalized DFT of x into dst's storage (append
+// semantics) and returns the length-n result. dst == x transforms in
+// place. len(x) must equal the plan length.
+func (p *FFTPlan) Forward(dst, x []complex128) []complex128 {
+	return p.execute(dst, x, false)
+}
+
+// Inverse computes the inverse DFT of x (normalized by 1/n) into dst's
+// storage and returns the result. dst == x transforms in place.
+func (p *FFTPlan) Inverse(dst, x []complex128) []complex128 {
+	return p.execute(dst, x, true)
+}
+
+func (p *FFTPlan) execute(dst, x []complex128, inverse bool) []complex128 {
+	if len(x) != p.n {
+		panic("dsp: FFTPlan length mismatch")
+	}
+	if cap(dst) < p.n {
+		dst = make([]complex128, p.n)
+	}
+	dst = dst[:p.n]
+	if p.perm != nil {
+		if &dst[0] != &x[0] {
+			copy(dst, x)
+		}
+		if inverse {
+			p.inverseInPlace(dst)
+		} else {
+			p.forwardInPlace(dst)
+		}
+		return dst
+	}
+	p.bluestein(dst, x, inverse)
+	return dst
+}
+
+// forwardInPlace runs the iterative radix-2 Cooley-Tukey butterfly network
+// over a, which must have the plan's power-of-two length.
+func (p *FFTPlan) forwardInPlace(a []complex128) {
+	n := p.n
+	if n <= 1 {
+		return
+	}
+	for i, j := range p.perm {
+		if int(j) > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	tw := p.twiddle
+	idx := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stage := tw[idx : idx+half]
+		idx += half
+		for start := 0; start < n; start += size {
+			for k, w := range stage {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+			}
+		}
+	}
+}
+
+// inverseInPlace is forwardInPlace with conjugated twiddles followed by
+// the 1/n normalization.
+func (p *FFTPlan) inverseInPlace(a []complex128) {
+	n := p.n
+	if n <= 1 {
+		return
+	}
+	for i, j := range p.perm {
+		if int(j) > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	tw := p.twiddle
+	idx := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stage := tw[idx : idx+half]
+		idx += half
+		for start := 0; start < n; start += size {
+			for k, w := range stage {
+				u := a[start+k]
+				v := a[start+k+half] * complex(real(w), -imag(w))
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+			}
+		}
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range a {
+		a[i] *= inv
+	}
+}
+
+// bluestein evaluates the length-n DFT as a size-m circular convolution
+// using the plan's cached chirp and filter spectrum. dst may alias x. The
+// inverse transform uses DFT⁻¹(x) = conj(DFT(conj(x)))/n, so one set of
+// forward tables serves both directions. The work buffer is pooled: the
+// steady state allocates nothing.
+func (p *FFTPlan) bluestein(dst, x []complex128, inverse bool) {
+	n, m := p.n, p.sub.n
+	a := pool.Complex(m)
+	if inverse {
+		for k := 0; k < n; k++ {
+			xv := x[k]
+			a[k] = complex(real(xv), -imag(xv)) * p.chirp[k]
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			a[k] = x[k] * p.chirp[k]
+		}
+	}
+	for k := n; k < m; k++ {
+		a[k] = 0
+	}
+	p.sub.forwardInPlace(a)
+	for i, bv := range p.bfft {
+		a[i] *= bv
+	}
+	p.sub.inverseInPlace(a)
+	if inverse {
+		invN := 1 / float64(n)
+		for k := 0; k < n; k++ {
+			v := a[k] * p.chirp[k]
+			dst[k] = complex(real(v)*invN, -imag(v)*invN)
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			dst[k] = a[k] * p.chirp[k]
+		}
+	}
+	pool.PutComplex(a)
+}

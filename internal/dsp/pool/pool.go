@@ -31,6 +31,13 @@ const maxClass = 24
 var complexPools [maxClass + 1]sync.Pool
 var floatPools [maxClass + 1]sync.Pool
 
+// Slice headers handed to sync.Pool must be heap-allocated (*[]T); to keep
+// the steady state truly allocation-free the headers themselves are
+// recycled through side pools, so a Get/Put roundtrip reuses both the
+// payload array and its header box.
+var complexHeaders = sync.Pool{New: func() any { return new([]complex128) }}
+var floatHeaders = sync.Pool{New: func() any { return new([]float64) }}
+
 // class returns the size-class index for n elements: the smallest c with
 // 1<<c >= n, or -1 when n is out of pooled range.
 func class(n int) int {
@@ -53,7 +60,11 @@ func Complex(n int) []complex128 {
 		return make([]complex128, n)
 	}
 	if v := complexPools[c].Get(); v != nil {
-		return (*v.(*[]complex128))[:n]
+		h := v.(*[]complex128)
+		buf := *h
+		*h = nil
+		complexHeaders.Put(h)
+		return buf[:n]
 	}
 	return make([]complex128, n, 1<<c)
 }
@@ -74,8 +85,9 @@ func PutComplex(buf []complex128) {
 			return
 		}
 	}
-	full := buf[:cp]
-	complexPools[c].Put(&full)
+	h := complexHeaders.Get().(*[]complex128)
+	*h = buf[:cp]
+	complexPools[c].Put(h)
 }
 
 // Float returns a []float64 of length n with arbitrary contents. The
@@ -86,7 +98,11 @@ func Float(n int) []float64 {
 		return make([]float64, n)
 	}
 	if v := floatPools[c].Get(); v != nil {
-		return (*v.(*[]float64))[:n]
+		h := v.(*[]float64)
+		buf := *h
+		*h = nil
+		floatHeaders.Put(h)
+		return buf[:n]
 	}
 	return make([]float64, n, 1<<c)
 }
@@ -104,6 +120,7 @@ func PutFloat(buf []float64) {
 			return
 		}
 	}
-	full := buf[:cp]
-	floatPools[c].Put(&full)
+	h := floatHeaders.Get().(*[]float64)
+	*h = buf[:cp]
+	floatPools[c].Put(h)
 }
