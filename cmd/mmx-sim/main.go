@@ -7,12 +7,14 @@
 //	mmx-sim -nodes 8 -duration 5 -blockers 2
 //	mmx-sim -room 12x8 -nodes 20 -rate 8 -seed 3
 //	mmx-sim -nodes 8 -drop 0.3 -dup 0.15 -crash 2@0.5 -reboot 2@1.5 -ap-restart 2@0.25
+//	mmx-sim -nodes 20 -churn-rate 4 -churn-dwell 1.5 -validate
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -32,6 +34,9 @@ func main() {
 	dup := flag.Float64("dup", 0, "control side-channel duplicate probability")
 	trunc := flag.Float64("trunc", 0, "control side-channel truncation probability")
 	leaseTTL := flag.Float64("lease-ttl", 1.0, "spectrum lease TTL in seconds (0 disables expiry)")
+	churnRate := flag.Float64("churn-rate", 0, "mean Poisson arrivals per second of extra transient nodes mid-run")
+	churnDwell := flag.Float64("churn-dwell", 1, "mean seconds a churned-in node stays before leaving")
+	validate := flag.Bool("validate", false, "audit ValidateSpectrum after every membership event; exit non-zero on failure")
 	crash := flag.String("crash", "", "comma-separated node crash events, each ID@seconds")
 	reboot := flag.String("reboot", "", "comma-separated node reboot events, each ID@seconds")
 	apRestart := flag.String("ap-restart", "", "AP restart as start@downFor seconds")
@@ -124,20 +129,60 @@ func main() {
 		env.AddBlocker(1.5+float64(i), h/2, 0.6, 0.4*float64(i+1))
 	}
 
-	fmt.Printf("\nrunning %d nodes for %.1f s in a %.0fx%.0f m room with %d walkers...\n\n",
+	// Pre-plan Poisson churn: transient nodes arrive at -churn-rate per
+	// second, dwell for an exponential -churn-dwell, and leave — all
+	// inside virtual time, through the same (possibly lossy) control
+	// plane as everything else. The plan comes from its own seeded RNG,
+	// so two runs with identical flags are byte-identical.
+	planned := 0
+	if *churnRate > 0 {
+		churnRNG := rand.New(rand.NewSource(int64(*seed) + 42))
+		at := 0.0
+		for id := uint32(1000); ; id++ {
+			at += churnRNG.ExpFloat64() / *churnRate
+			if at >= *duration {
+				break
+			}
+			frac := churnRNG.Float64()
+			x := 1 + (w-1.8)*frac
+			y := 0.5 + (h-1.0)*churnRNG.Float64()
+			nw.ScheduleJoin(at, id, mmx.Facing(x, y, apPose.X, apPose.Y),
+				*rateMbps*1.25e6, mmx.CameraTraffic(*rateMbps))
+			nw.ScheduleLeave(at+churnRNG.ExpFloat64()**churnDwell, id)
+			planned++
+		}
+	}
+	if *validate {
+		nw.OnMembershipChange(func(event string, id uint32) {
+			if err := nw.ValidateSpectrum(); err != nil {
+				fmt.Fprintf(os.Stderr, "spectrum inconsistent after %s of node %d: %v\n", event, id, err)
+				os.Exit(1)
+			}
+		})
+	}
+
+	fmt.Printf("\nrunning %d nodes for %.1f s in a %.0fx%.0f m room with %d walkers",
 		*nodes, *duration, w, h, *blockers)
+	if planned > 0 {
+		fmt.Printf(" and %d transient nodes", planned)
+	}
+	fmt.Print("...\n\n")
 	stats := nw.Run(*duration, 0.05, 10)
 
-	fmt.Printf("%-5s %-11s %-11s %-8s %-7s %-8s %-8s %-9s %-9s %-8s\n",
-		"node", "mean SINR", "min SINR", "sent", "lost", "dropped", "outage#", "airtime", "delay", "outage")
+	fmt.Printf("%-5s %-11s %-11s %-8s %-7s %-8s %-8s %-8s %-9s %-9s %-8s\n",
+		"node", "mean SINR", "min SINR", "sent", "lost", "dropped", "outage#", "active", "airtime", "delay", "outage")
 	for _, st := range stats.PerNode {
-		fmt.Printf("%-5d %-11.1f %-11.1f %-8d %-7d %-8d %-8d %-9.2f %-9.2g %-8.1f%%\n",
+		fmt.Printf("%-5d %-11.1f %-11.1f %-8d %-7d %-8d %-8d %-8.2f %-9.2f %-9.2g %-8.1f%%\n",
 			st.ID, st.MeanSINRdB, st.MinSINRdB, st.FramesSent, st.FramesLost,
-			st.FramesDropped, st.FramesOutage, st.AirtimeFraction, st.MeanDelayS,
-			100*st.OutageFraction)
+			st.FramesDropped, st.FramesOutage, st.ActiveS, st.AirtimeFraction,
+			st.MeanDelayS, 100*st.OutageFraction)
 	}
 	fmt.Printf("\naggregate goodput: %.1f Mbps (offered %.1f Mbps)\n",
 		stats.TotalGoodputBps()/1e6, float64(*nodes)**rateMbps)
+	if stats.Joins+stats.Leaves+stats.JoinsFailed > 0 {
+		fmt.Printf("churn: %d joins (%d failed), %d leaves, %d members at end\n",
+			stats.Joins, stats.JoinsFailed, stats.Leaves, len(nw.Reports()))
+	}
 	c := stats.Control
 	if c != (mmx.ControlStats{}) {
 		fmt.Printf("control plane: %d renews (%d failed), %d rejoins, %d resyncs, %d lease expiries, %d promotions, %d crashes, %d reboots, %d AP restarts\n",

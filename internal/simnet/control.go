@@ -200,14 +200,14 @@ func (nw *Network) renewOnce(n *Node, at float64) renewResult {
 			NodeID: n.ID, CenterHz: m.CenterHz, WidthHz: m.WidthHz, FSKOffsetHz: m.FSKOffsetHz,
 		}
 		nw.applyAssignment(n)
-		nw.invalidateCoupling()
+		nw.couplingUpdateNode(n)
 		return renewResynced
 	case mac.RenewNackMsg:
 		if _, err := nw.handshake(n, at+took); err != nil {
 			return renewLost
 		}
 		nw.applyAssignment(n)
-		nw.invalidateCoupling()
+		nw.couplingUpdateNode(n)
 		return renewRejoined
 	default:
 		return renewFailed

@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"math/cmplx"
+
+	"mmx/internal/units"
+)
+
+// This file owns the cached pairwise coupling matrix: linear power
+// factors (flat n×n; coupling[i*n+j] = FromDB(-couplingDB(i,j)), so the
+// interference sum is pure multiply-add with no per-pair dB conversion).
+// The cache depends only on assignments, harmonics and poses — NOT on
+// blocker motion — so EvaluateSINR reuses it across environment steps.
+//
+// Membership and assignment changes maintain the cache incrementally:
+// a join appends one row and column (O(n) pair computations), a leave
+// compacts one row and column out, and a promotion or renew re-sync
+// recomputes the affected node's row and column in place. The full
+// rebuild (ensureCoupling) stays as the dirty-flag fallback — MoveNode
+// and any state the incremental paths cannot trust route through it —
+// and the incremental results are golden-tested equal to a from-scratch
+// rebuild.
+
+// invalidateCoupling marks the cached coupling matrix stale, forcing a
+// full rebuild on the next evaluation. MoveNode calls it (a pose change
+// stales the node's harmonic gain table); blocker motion (Env.Step) does
+// not, because coupling depends only on assignments, harmonics and
+// poses.
+func (nw *Network) invalidateCoupling() { nw.couplingDirty = true }
+
+// pairCouplingLinear returns the linearized coupling factor
+// FromDB(−couplingDB(node, other)) — how much of other's power lands in
+// node's receiver — using other's precomputed harmonic gain table. It is
+// the single pair kernel shared by the full rebuild and every
+// incremental update, so the two paths are bit-identical by
+// construction.
+func (nw *Network) pairCouplingLinear(node, other *Node, tblOther []complex128) float64 {
+	if c, ok := nw.freqCouplingDB(node, other); ok {
+		return units.FromDB(-c)
+	}
+	if !node.SDMShared && !other.SDMShared {
+		return 1 // full collision, 0 dB
+	}
+	maxM := nw.SDM.MaxHarmonic()
+	own := cmplx.Abs(tblOther[other.SDMHarmonic+maxM])
+	leak := cmplx.Abs(tblOther[node.SDMHarmonic+maxM])
+	return units.FromDB(-tmaSuppressionDB(own, leak))
+}
+
+// couplingValid reports whether the cached matrix and gain tables are
+// trustworthy for a membership of size n — the precondition every
+// incremental update checks before touching the cache.
+func (nw *Network) couplingValid(n int) bool {
+	return !nw.couplingDirty && len(nw.coupling) == n*n && len(nw.couplingTables) == n
+}
+
+// ensureCoupling rebuilds the cached coupling matrix if it was
+// invalidated (or never built). The rebuild precomputes each node's full
+// TMA harmonic gain table at its angle of arrival once (tma.GainTable),
+// so the n² pair fill does table lookups instead of re-summing the array
+// response per pair, and stores each entry already linearized
+// (FromDB(−dB)) so the per-call interference sum pays no dB conversion.
+// The gain tables are kept (couplingTables) so membership changes can
+// update the matrix incrementally instead of re-running this O(n²) pass.
+func (nw *Network) ensureCoupling() {
+	n := len(nw.Nodes)
+	if nw.couplingValid(n) {
+		return
+	}
+	if cap(nw.coupling) < n*n {
+		nw.coupling = make([]float64, n*n)
+	} else {
+		nw.coupling = nw.coupling[:n*n]
+	}
+	if cap(nw.couplingTables) < n {
+		nw.couplingTables = make([][]complex128, n)
+	} else {
+		nw.couplingTables = nw.couplingTables[:n]
+	}
+	nw.forEachNode(n, func(j int) {
+		nw.couplingTables[j] = nw.SDM.GainTable(nw.AP.AngleTo(nw.Nodes[j].Pose.Pos))
+	})
+	nw.forEachNode(n, func(i int) {
+		node := nw.Nodes[i]
+		row := nw.coupling[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			if i == j {
+				row[j] = 0 // unused: the interference sum skips i==j
+				continue
+			}
+			row[j] = nw.pairCouplingLinear(node, nw.Nodes[j], nw.couplingTables[j])
+		}
+	})
+	nw.couplingDirty = false
+}
+
+// couplingAddNode extends the cache for a node just appended to
+// nw.Nodes: the existing rows are re-strided in place and only the new
+// node's row and column are computed — O(n) pair kernels plus one gain
+// table, instead of the O(n²) full rebuild. With an untrusted cache it
+// degrades to the dirty flag.
+func (nw *Network) couplingAddNode() {
+	n := len(nw.Nodes)
+	old := n - 1
+	if !nw.couplingValid(old) {
+		nw.couplingDirty = true
+		return
+	}
+	if cap(nw.coupling) < n*n {
+		grown := make([]float64, n*n)
+		for i := 0; i < old; i++ {
+			copy(grown[i*n:i*n+old], nw.coupling[i*old:(i+1)*old])
+		}
+		nw.coupling = grown
+	} else {
+		nw.coupling = nw.coupling[:n*n]
+		// Re-stride in place back to front so a row never overwrites one
+		// not yet moved (new offsets are ≥ old offsets for every row).
+		for i := old - 1; i >= 1; i-- {
+			copy(nw.coupling[i*n:i*n+old], nw.coupling[i*old:(i+1)*old])
+		}
+	}
+	newcomer := nw.Nodes[old]
+	tbl := nw.SDM.GainTable(nw.AP.AngleTo(newcomer.Pose.Pos))
+	nw.couplingTables = append(nw.couplingTables, tbl)
+	row := nw.coupling[old*n : n*n]
+	for j := 0; j < old; j++ {
+		row[j] = nw.pairCouplingLinear(newcomer, nw.Nodes[j], nw.couplingTables[j])
+		nw.coupling[j*n+old] = nw.pairCouplingLinear(nw.Nodes[j], newcomer, tbl)
+	}
+	row[old] = 0
+}
+
+// couplingRemoveNode compacts row and column k out of the cache after
+// the node at (former) index k was removed from nw.Nodes. Pure memory
+// moves — no pair kernel runs. With an untrusted cache it degrades to
+// the dirty flag.
+func (nw *Network) couplingRemoveNode(k int) {
+	old := len(nw.Nodes) + 1
+	if !nw.couplingValid(old) || k < 0 || k >= old {
+		nw.couplingDirty = true
+		return
+	}
+	n := old - 1
+	dst := 0
+	for i := 0; i < old; i++ {
+		if i == k {
+			continue
+		}
+		for j := 0; j < old; j++ {
+			if j == k {
+				continue
+			}
+			// dst never overtakes the source index i*old+j, so the
+			// forward compaction is safe in place.
+			nw.coupling[dst] = nw.coupling[i*old+j]
+			dst++
+		}
+	}
+	nw.coupling = nw.coupling[:n*n]
+	nw.couplingTables = append(nw.couplingTables[:k], nw.couplingTables[k+1:]...)
+}
+
+// couplingUpdateNode recomputes one live node's row and column after its
+// assignment or SDM role changed (promotion, renew re-sync, reboot
+// rejoin) — the node's pose is unchanged, so its cached gain table stays
+// valid and the update is O(n). With an untrusted cache (or a node not
+// in the membership list) it degrades to the dirty flag.
+func (nw *Network) couplingUpdateNode(target *Node) {
+	n := len(nw.Nodes)
+	if !nw.couplingValid(n) {
+		nw.couplingDirty = true
+		return
+	}
+	i := -1
+	for k, node := range nw.Nodes {
+		if node == target {
+			i = k
+			break
+		}
+	}
+	if i < 0 {
+		nw.couplingDirty = true
+		return
+	}
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		nw.coupling[i*n+j] = nw.pairCouplingLinear(target, nw.Nodes[j], nw.couplingTables[j])
+		nw.coupling[j*n+i] = nw.pairCouplingLinear(nw.Nodes[j], target, nw.couplingTables[i])
+	}
+}

@@ -77,7 +77,20 @@ func (s *Sim) RunUntil(horizon float64) {
 	}
 }
 
-// NodeStats accumulates one node's traffic outcome over a run.
+// NoSampleSINRdB is the sentinel MinSINRdB and MeanSINRdB take for a
+// node that was never SINR-sampled during a run — Down or absent at
+// every sampling instant (the environment-step observation points). A
+// defined negative-infinity sentinel replaces the +Inf min / zero mean
+// garbage of an empty sample set; check SINRSamples == 0 to detect the
+// case programmatically. The value equals itself, so whole-RunStats
+// equality comparisons stay valid.
+var NoSampleSINRdB = math.Inf(-1)
+
+// NodeStats accumulates one node's traffic outcome over a run. With
+// in-run churn, a node's stats are keyed by ID and cover exactly its
+// presence: traffic accounting starts at join and stops at leave, and
+// time-normalized figures (AirtimeFraction) divide by ActiveS, not the
+// run duration.
 type NodeStats struct {
 	ID         uint32
 	FramesSent int
@@ -89,16 +102,22 @@ type NodeStats struct {
 	// FramesOutage counts frames discarded because the node's adapted
 	// rate was 0 — no ladder step closes the link — so transmitting
 	// would only burn energy.
-	FramesOutage   int
-	BitsDelivered  float64
-	MinSINRdB      float64
-	MeanSINRdB     float64
-	sinrSamples    int
+	FramesOutage  int
+	BitsDelivered float64
+	// MinSINRdB and MeanSINRdB summarize the node's sampled SINR. When
+	// SINRSamples is 0 (the node was Down or absent at every sampling
+	// instant) both hold the NoSampleSINRdB sentinel.
+	MinSINRdB  float64
+	MeanSINRdB float64
+	// SINRSamples counts the sampling instants that observed the node —
+	// the denominator of MeanSINRdB and OutageFraction. 0 marks the
+	// no-sample case (see NoSampleSINRdB).
+	SINRSamples    int
 	sinrAccum      float64
 	OutageFraction float64
 	outages        int
-	// AirtimeFraction is the share of the run the node's transmitter
-	// was on the air at its adapted rate.
+	// AirtimeFraction is the share of the node's time-present (ActiveS)
+	// its transmitter was on the air at its adapted rate.
 	AirtimeFraction float64
 	airtime         float64
 	// MeanDelayS is the average frame latency (queueing + airtime) of
@@ -106,6 +125,14 @@ type NodeStats struct {
 	MeanDelayS float64
 	delayAccum float64
 	delayed    int
+	// JoinedAtS is the sim time the node first became a member during
+	// the run (0 for nodes present at start); LeftAtS is the end of its
+	// last presence interval (Duration if still present when the run
+	// ended).
+	JoinedAtS, LeftAtS float64
+	// ActiveS is the node's total time-present: the sum of its presence
+	// intervals between joins and leaves.
+	ActiveS float64
 }
 
 // ControlStats counts the fault-tolerant control plane's work during a
@@ -132,12 +159,21 @@ type ControlStats struct {
 	Crashes, Reboots, APRestarts int
 }
 
-// RunStats summarizes a network run.
+// RunStats summarizes a network run. PerNode is ordered by first
+// appearance: the starting membership in join order, then mid-run
+// joiners in activation order; a node that leaves and rejoins under the
+// same ID keeps one entry accumulating across its presence intervals.
 type RunStats struct {
 	Duration float64
 	PerNode  []NodeStats
 	// Control summarizes the control plane's fault handling.
 	Control ControlStats
+	// Joins and Leaves count membership events executed inside the run
+	// (scheduled churn plus Join/Leave calls from callbacks); the
+	// starting membership is not counted. JoinsFailed counts mid-run
+	// join attempts whose handshake died on the side channel or that
+	// named a duplicate ID.
+	Joins, Leaves, JoinsFailed int
 }
 
 // TotalGoodputBps returns the aggregate delivered rate.
@@ -150,6 +186,147 @@ func (r RunStats) TotalGoodputBps() float64 {
 		total += n.BitsDelivered
 	}
 	return total / r.Duration
+}
+
+// nodeHandle is one node's stable accounting slot, keyed by ID for the
+// whole run: it survives the node's index in Network.Nodes shifting
+// under churn, and accumulates presence intervals across leave/rejoin
+// cycles of the same ID.
+type nodeHandle struct {
+	st        NodeStats
+	present   bool
+	joinedAt  float64 // start of the current presence interval
+	activeS   float64 // sum of closed presence intervals
+	busyUntil float64 // transmitter occupancy horizon
+	gen       int     // bumped on leave and rejoin: cancels stale frame chains
+}
+
+// runState is the live engine state while Run executes. Network.run
+// points at it, so membership changes issued mid-run — Join/Leave from
+// a traffic or OnMembership callback, ScheduleJoin/ScheduleLeave plans —
+// execute at the sim clock through the event heap instead of panicking.
+type runState struct {
+	nw           *Network
+	sim          *Sim
+	outageSINRdB float64
+	// ctrlNow anchors sim time to the controller's monotonic clock: the
+	// controller may already sit past zero (lossy pre-run handshakes
+	// consume virtual time) while sim restarts at zero every Run.
+	ctrlNow func() float64
+	ctl     *ControlStats
+
+	joins, leaves, joinsFailed int
+
+	handles map[uint32]*nodeHandle
+	order   []uint32 // IDs in first-seen order: RunStats.PerNode layout
+
+	reports []Report        // cached EvaluateSINR output, parallel to nw.Nodes
+	repIdx  map[uint32]int  // node ID -> index into reports
+	pending map[uint32]bool // IDs with a handshake done, activation queued
+}
+
+// handle returns (creating if needed) the stable accounting slot for id.
+func (rs *runState) handle(id uint32) *nodeHandle {
+	h := rs.handles[id]
+	if h == nil {
+		h = &nodeHandle{st: NodeStats{ID: id, MinSINRdB: math.Inf(1), JoinedAtS: rs.sim.Now()}}
+		rs.handles[id] = h
+		rs.order = append(rs.order, id)
+	}
+	return h
+}
+
+// reindex rebuilds the ID → report-slot map after a membership change;
+// between changes the node order is stable so refreshes reuse it.
+func (rs *runState) reindex() {
+	rs.repIdx = make(map[uint32]int, len(rs.nw.Nodes))
+	for i, n := range rs.nw.Nodes {
+		rs.repIdx[n.ID] = i
+	}
+}
+
+// refresh re-evaluates every node's SINR report (after environment
+// steps and control-plane or membership events that change the picture).
+func (rs *runState) refresh() { rs.reports = rs.nw.EvaluateSINR() }
+
+// observe samples the current reports into per-node stats.
+func (rs *runState) observe() {
+	for i, r := range rs.reports {
+		if rs.nw.Nodes[i].Down {
+			continue // a dead radio has no SINR to sample
+		}
+		st := &rs.handles[rs.nw.Nodes[i].ID].st
+		st.sinrAccum += r.SINRdB
+		st.SINRSamples++
+		if r.SINRdB < st.MinSINRdB {
+			st.MinSINRdB = r.SINRdB
+		}
+		if r.SINRdB < rs.outageSINRdB {
+			st.outages++
+		}
+	}
+}
+
+// maxBacklogS bounds per-node queueing: frames older than this are
+// dropped rather than queued.
+const maxBacklogS = 0.05
+
+// scheduleFrames starts (or restarts, after a rejoin) node n's traffic
+// chain: each frame draws its gap and payload from the node's traffic
+// model, occupies transmitter airtime at the adapted rate, and is
+// delivered with probability (1−BER)^bits. The chain is generation-
+// stamped: a leave bumps the handle's gen, so an in-flight frame event
+// of a departed node expires silently instead of transmitting for a
+// non-member.
+func (rs *runState) scheduleFrames(n *Node) {
+	h := rs.handle(n.ID)
+	gen := h.gen
+	var scheduleFrame func()
+	scheduleFrame = func() {
+		delay, payload := n.Traffic.Next(rs.nw.rng)
+		rs.sim.After(delay, func() {
+			if h.gen != gen {
+				return // the node left: its frame chain ends here
+			}
+			if payload > 0 && !n.Down {
+				bits := float64(8 * payload)
+				rate := n.RateBps
+				st := &h.st
+				st.FramesSent++
+				if rate <= 0 {
+					// Outage: no ladder step closes the link, so the
+					// frame is discarded instead of transmitted at a
+					// hopeless rate.
+					st.FramesOutage++
+				} else {
+					airtime := bits / rate
+					now := rs.sim.Now()
+					if h.busyUntil < now {
+						h.busyUntil = now
+					}
+					queue := h.busyUntil - now
+					if queue > maxBacklogS {
+						// The adapted rate cannot drain the offered load.
+						st.FramesDropped++
+					} else {
+						h.busyUntil += airtime
+						st.airtime += airtime
+						st.delayAccum += queue + airtime
+						st.delayed++
+						ber := rs.reports[rs.repIdx[n.ID]].BER
+						pSuccess := math.Pow(1-ber, bits)
+						if rs.nw.rng.Float64() < pSuccess {
+							st.BitsDelivered += bits
+						} else {
+							st.FramesLost++
+						}
+					}
+				}
+			}
+			scheduleFrame()
+		})
+	}
+	scheduleFrame()
 }
 
 // Run drives the network for duration seconds: blockers walk (re-evaluated
@@ -166,62 +343,48 @@ func (r RunStats) TotalGoodputBps() float64 {
 // so a blockage-driven SINR collapse downshifts the ladder in-run — or
 // marks the node in outage (rate 0) until the blocker clears. Everything
 // is driven by seeded RNGs, so a run is a pure function of (seed,
-// SideChannel seed, Plan).
+// SideChannel seed, Plan, churn schedule).
 //
-// Run indexes nodes and their report slots from the node list captured at
-// start, so membership churn mid-run would silently misattribute traffic
-// and stats. Join and Leave therefore panic while Run executes (including
-// from traffic-model callbacks); drive churn between runs — spectrum
-// state carries over. MoveNode and blocker motion remain safe: they
-// change link geometry, not membership. FaultPlan crash/reboot is not
-// churn: the node stays in the list, only its Down flag flips.
+// Membership is a first-class simulation event: ScheduleJoin and
+// ScheduleLeave plan churn at absolute sim times, and Join/Leave called
+// from inside the run (traffic-model or OnMembership callbacks) execute
+// at the current sim clock through the same lossy handshake and
+// release-retry machinery as pre-run churn. Per-node accounting is keyed
+// by ID in stable handles, so stats follow the node — not a slice slot —
+// through arbitrary membership change; time-normalized figures divide by
+// each node's time-present (NodeStats.ActiveS). Run itself is not
+// reentrant and panics if nested.
 func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
-	if nw.running {
+	if nw.run != nil {
 		panic("simnet: Run is not reentrant")
 	}
-	nw.running = true
-	defer func() { nw.running = false }()
 	sim := NewSim()
-	// The controller's monotonic clock may already sit past zero (lossy
-	// pre-run handshakes consume virtual time), while sim restarts at
-	// zero every Run: anchor lease timing to the controller's now.
 	base := nw.Controller.NowS()
-	ctrlNow := func() float64 { return base + sim.Now() }
-	nw.Controller.LeaseTTL = nw.Control.LeaseTTLS
 	var ctl ControlStats
-	stats := make([]NodeStats, len(nw.Nodes))
-	index := make(map[uint32]int, len(nw.Nodes))
-	for i, n := range nw.Nodes {
-		stats[i] = NodeStats{ID: n.ID, MinSINRdB: math.Inf(1)}
-		index[n.ID] = i
+	rs := &runState{
+		nw:           nw,
+		sim:          sim,
+		outageSINRdB: outageSINRdB,
+		ctrlNow:      func() float64 { return base + sim.Now() },
+		ctl:          &ctl,
+		handles:      make(map[uint32]*nodeHandle, len(nw.Nodes)),
+		pending:      map[uint32]bool{},
 	}
+	nw.run = rs
+	defer func() { nw.run = nil }()
+	nw.Controller.LeaseTTL = nw.Control.LeaseTTLS
 
-	// Cached per-node reports, refreshed on every environment step and
-	// after control-plane events that change assignments.
-	reports := nw.EvaluateSINR()
-	refresh := func() { reports = nw.EvaluateSINR() }
-	observe := func() {
-		for i, r := range reports {
-			if nw.Nodes[i].Down {
-				continue // a dead radio has no SINR to sample
-			}
-			st := &stats[i]
-			st.sinrAccum += r.SINRdB
-			st.sinrSamples++
-			if r.SINRdB < st.MinSINRdB {
-				st.MinSINRdB = r.SINRdB
-			}
-			if r.SINRdB < outageSINRdB {
-				st.outages++
-			}
-		}
+	for _, n := range nw.Nodes {
+		rs.handle(n.ID).present = true
 	}
-	observe()
+	rs.reindex()
+	rs.refresh()
+	rs.observe()
 
 	var envTick func()
 	envTick = func() {
 		nw.Env.Step(envStep)
-		refresh()
+		rs.refresh()
 		// In-run rate adaptation: the reports hold each node's SINR in
 		// its configured channel bandwidth, exactly what the ladder walk
 		// wants. Rate 0 = outage until a later step clears it.
@@ -229,47 +392,48 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 			if n.Down {
 				continue
 			}
-			n.RateBps = nw.cappedRate(n, core.RateForSNR(reports[i].SINRdB, n.Link.Cfg.BandwidthHz, 1e-6))
+			n.RateBps = nw.cappedRate(n, core.RateForSNR(rs.reports[i].SINRdB, n.Link.Cfg.BandwidthHz, 1e-6))
 		}
-		observe()
+		rs.observe()
 		sim.After(envStep, envTick)
 	}
 	if envStep > 0 {
 		sim.After(envStep, envTick)
 	}
 
-	// Scheduled fault injection.
+	// Scheduled fault injection. Targets are resolved by ID at event
+	// time — a crash or reboot naming a node that has since left is a
+	// no-op.
 	if nw.Faults != nil {
 		for _, fe := range nw.Faults.Sorted() {
 			fe := fe
 			switch fe.Kind {
 			case faults.NodeCrash:
 				sim.At(fe.At, func() {
-					if i, ok := index[fe.NodeID]; ok && !nw.Nodes[i].Down {
-						nw.Nodes[i].Down = true
+					if n := nw.nodeByID(fe.NodeID); n != nil && !n.Down {
+						n.Down = true
 						ctl.Crashes++
-						refresh()
+						rs.refresh()
 					}
 				})
 			case faults.NodeReboot:
 				sim.At(fe.At, func() {
-					i, ok := index[fe.NodeID]
-					if !ok || !nw.Nodes[i].Down {
+					n := nw.nodeByID(fe.NodeID)
+					if n == nil || !n.Down {
 						return
 					}
-					n := nw.Nodes[i]
 					ctl.Reboots++
 					// Rejoin through the full lossy handshake; if its
 					// old lease survived, the AP idempotently re-grants
 					// the same spectrum. A handshake that dies entirely
 					// leaves the node down until the plan retries.
-					if _, err := nw.handshake(n, ctrlNow()); err != nil {
+					if _, err := nw.handshake(n, rs.ctrlNow()); err != nil {
 						return
 					}
 					n.Down = false
 					nw.applyAssignment(n)
-					nw.invalidateCoupling()
-					refresh()
+					nw.couplingUpdateNode(n)
+					rs.refresh()
 				})
 			case faults.APRestart:
 				sim.At(fe.At, func() {
@@ -287,6 +451,13 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 		}
 	}
 
+	// Pre-planned churn moves onto the event heap; the plan is consumed
+	// so a subsequent Run starts clean.
+	for _, ce := range nw.pendingChurn {
+		rs.schedule(ce)
+	}
+	nw.pendingChurn = nil
+
 	// Lease keepalive cycle: renew the living, then expire the silent.
 	// Renewing first matters: pre-run lossy handshakes consume virtual
 	// controller time, so an early joiner's last contact can already be
@@ -300,7 +471,7 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 				continue
 			}
 			ctl.RenewsSent++
-			switch nw.renewOnce(n, ctrlNow()) {
+			switch nw.renewOnce(n, rs.ctrlNow()) {
 			case renewResynced:
 				ctl.Resyncs++
 				changed = true
@@ -311,7 +482,7 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 				ctl.RenewsFailed++
 			}
 		}
-		expired := nw.Controller.ExpireLeases(ctrlNow())
+		expired := nw.Controller.ExpireLeases(rs.ctrlNow())
 		ctl.LeaseExpiries += len(expired)
 		if len(expired) > 0 {
 			// Reclaimed spectrum may promote surviving sharers; the
@@ -321,7 +492,7 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 			changed = true
 		}
 		if changed {
-			refresh()
+			rs.refresh()
 		}
 		sim.After(nw.Control.RenewIntervalS, renewTick)
 	}
@@ -329,69 +500,39 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 		sim.After(nw.Control.RenewIntervalS, renewTick)
 	}
 
-	// Per-node transmitter occupancy for airtime/queueing accounting.
-	const maxBacklogS = 0.05 // frames older than this are dropped
-	busyUntil := make([]float64, len(nw.Nodes))
-
-	var scheduleFrame func(n *Node)
-	scheduleFrame = func(n *Node) {
-		delay, payload := n.Traffic.Next(nw.rng)
-		sim.After(delay, func() {
-			i := index[n.ID]
-			if payload > 0 && !n.Down {
-				bits := float64(8 * payload)
-				rate := n.RateBps
-				stats[i].FramesSent++
-				if rate <= 0 {
-					// Outage: no ladder step closes the link, so the
-					// frame is discarded instead of transmitted at a
-					// hopeless rate.
-					stats[i].FramesOutage++
-				} else {
-					airtime := bits / rate
-					now := sim.Now()
-					if busyUntil[i] < now {
-						busyUntil[i] = now
-					}
-					queue := busyUntil[i] - now
-					if queue > maxBacklogS {
-						// The adapted rate cannot drain the offered load.
-						stats[i].FramesDropped++
-					} else {
-						busyUntil[i] += airtime
-						stats[i].airtime += airtime
-						stats[i].delayAccum += queue + airtime
-						stats[i].delayed++
-						ber := reports[i].BER
-						pSuccess := math.Pow(1-ber, bits)
-						if nw.rng.Float64() < pSuccess {
-							stats[i].BitsDelivered += bits
-						} else {
-							stats[i].FramesLost++
-						}
-					}
-				}
-			}
-			scheduleFrame(n)
-		})
-	}
 	for _, n := range nw.Nodes {
-		scheduleFrame(n)
+		rs.scheduleFrames(n)
 	}
 
 	sim.RunUntil(duration)
 
-	for i := range stats {
-		if stats[i].sinrSamples > 0 {
-			stats[i].MeanSINRdB = stats[i].sinrAccum / float64(stats[i].sinrSamples)
-			stats[i].OutageFraction = float64(stats[i].outages) / float64(stats[i].sinrSamples)
+	perNode := make([]NodeStats, 0, len(rs.order))
+	for _, id := range rs.order {
+		h := rs.handles[id]
+		if h.present {
+			h.activeS += duration - h.joinedAt
+			h.st.LeftAtS = duration
+			h.present = false
 		}
-		if duration > 0 {
-			stats[i].AirtimeFraction = stats[i].airtime / duration
+		st := h.st
+		st.ActiveS = h.activeS
+		if st.SINRSamples > 0 {
+			st.MeanSINRdB = st.sinrAccum / float64(st.SINRSamples)
+			st.OutageFraction = float64(st.outages) / float64(st.SINRSamples)
+		} else {
+			st.MinSINRdB = NoSampleSINRdB
+			st.MeanSINRdB = NoSampleSINRdB
 		}
-		if stats[i].delayed > 0 {
-			stats[i].MeanDelayS = stats[i].delayAccum / float64(stats[i].delayed)
+		if st.ActiveS > 0 {
+			st.AirtimeFraction = st.airtime / st.ActiveS
 		}
+		if st.delayed > 0 {
+			st.MeanDelayS = st.delayAccum / float64(st.delayed)
+		}
+		perNode = append(perNode, st)
 	}
-	return RunStats{Duration: duration, PerNode: stats, Control: ctl}
+	return RunStats{
+		Duration: duration, PerNode: perNode, Control: ctl,
+		Joins: rs.joins, Leaves: rs.leaves, JoinsFailed: rs.joinsFailed,
+	}
 }

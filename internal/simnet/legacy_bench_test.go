@@ -83,6 +83,36 @@ func BenchmarkSINREngine(b *testing.B) {
 	}
 }
 
+// BenchmarkMembershipCoupling measures what one membership event costs
+// the coupling cache: the incremental add+remove pair (O(n) kernels plus
+// memory moves) against the dirty-flag full rebuild (O(n²) kernels) the
+// same event used to force. This is the tentpole win that makes a join
+// in a 500-node network affordable mid-run.
+func BenchmarkMembershipCoupling(b *testing.B) {
+	for _, size := range []int{100, 500} {
+		nw := newBenchNetwork(b, size)
+		nw.Workers = 1
+		nw.ensureCoupling()
+		last := nw.Nodes[len(nw.Nodes)-1]
+		b.Run(sizeName("incremental", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nw.Nodes = nw.Nodes[:size-1]
+				nw.couplingRemoveNode(size - 1)
+				nw.Nodes = append(nw.Nodes, last)
+				nw.couplingAddNode()
+			}
+		})
+		b.Run(sizeName("rebuild", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nw.invalidateCoupling()
+				nw.ensureCoupling()
+			}
+		})
+	}
+}
+
 func sizeName(kind string, size int) string {
 	return kind + "/nodes=" + itoa(size)
 }

@@ -91,17 +91,27 @@ type Network struct {
 	// perturbing the traffic RNG stream.
 	ctrlRNG *stats.RNG
 	rng     *stats.RNG
+	// OnMembership, if non-nil, is invoked after every membership event
+	// applied inside Run — "join" or "leave", with the node's ID — with
+	// the network already in its post-event state. Tests and tools use
+	// it to audit ValidateSpectrum after each event; it executes at the
+	// sim clock inside the event loop, so keep it cheap and
+	// deterministic.
+	OnMembership func(event string, id uint32)
 	// coupling caches the pairwise coupling matrix as linear power
-	// factors (flat n×n; coupling[i*n+j] = FromDB(-couplingDB(i,j)), so
-	// the interference sum is pure multiply-add with no per-pair dB
-	// conversion). It depends only on assignments, harmonics and poses —
-	// NOT on blocker motion — so EvaluateSINR reuses it across
-	// environment steps; membership or pose churn marks it dirty via
-	// invalidateCoupling.
-	coupling      []float64
-	couplingDirty bool
-	// running guards against membership churn while Run is executing.
-	running bool
+	// factors (see coupling.go). couplingTables holds each node's TMA
+	// harmonic gain table at its angle of arrival, so membership and
+	// assignment changes update the matrix incrementally; the dirty flag
+	// falls back to the full rebuild.
+	coupling       []float64
+	couplingTables [][]complex128
+	couplingDirty  bool
+	// run points at the live engine state while Run executes; membership
+	// changes issued mid-run route through it onto the event heap.
+	run *runState
+	// pendingChurn holds ScheduleJoin/ScheduleLeave events planned
+	// before Run starts; Run moves them onto its event heap.
+	pendingChurn []churnEvent
 }
 
 // New builds a network in an environment with the AP at apPose, operating
@@ -135,15 +145,38 @@ func NewWithBand(env *channel.Environment, apPose channel.Pose, seed uint64, ban
 // ErrJoinFailed reports a node the AP could not admit.
 var ErrJoinFailed = errors.New("simnet: join failed")
 
+// nodeByID returns the live membership entry for id, or nil. Membership
+// is looked up by ID at event time — never by index captured earlier —
+// so churn can reorder Nodes freely.
+func (nw *Network) nodeByID(id uint32) *Node {
+	for _, n := range nw.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
 // Join runs the initialization protocol for one node (the WiFi/Bluetooth
 // handshake of §7a) and installs it into the network. The handshake goes
 // through the control side channel: with a lossy SideChannel installed it
 // is driven by the retry state machine, and Join fails only when every
-// attempt dies. It must not be called while Run is executing (see Run)
-// and panics if it is.
+// attempt dies. A duplicate node ID — one already in the membership list,
+// even crashed — is rejected with a wrapped ErrJoinFailed before any
+// spectrum is touched.
+//
+// Called while Run is executing (from a traffic-model or OnMembership
+// callback), the join becomes a membership event at the current sim
+// clock: the handshake runs through the same retry machinery on the
+// controller's anchored timeline, and the node goes on the air — joins
+// the interference picture, starts its traffic, begins its presence
+// interval — once the handshake's virtual time has elapsed.
 func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic TrafficModel) (*Node, error) {
-	if nw.running {
-		panic("simnet: Join during Run is not supported — Run indexes nodes at start; churn between runs instead")
+	if rs := nw.run; rs != nil {
+		return rs.joinNow(id, pose, demandBps, traffic)
+	}
+	if nw.nodeByID(id) != nil {
+		return nil, fmt.Errorf("%w: duplicate node ID %d", ErrJoinFailed, id)
 	}
 	n := &Node{ID: id, Pose: pose, Demand: demandBps, Traffic: traffic}
 	// The TMA hashes each node's angle-of-arrival into a harmonic slot;
@@ -156,7 +189,7 @@ func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic
 	n.Link.Beams = nw.NodeBeams
 	nw.applyAssignment(n)
 	nw.Nodes = append(nw.Nodes, n)
-	nw.invalidateCoupling()
+	nw.couplingAddNode()
 	return n, nil
 }
 
@@ -258,21 +291,31 @@ func (nw *Network) bestHostChannel(h int, th float64, exclude uint32) (float64, 
 // leaver was the FDM owner of a channel that SDM sharers still occupy, the
 // controller promotes the widest sharer to owner (PromoteMsg) instead of
 // returning the occupied channel to the free pool, and the promoted node
-// is flipped to exclusive operation here. Leave must not be called while
-// Run is executing and panics if it is.
+// is flipped to exclusive operation here.
+//
+// Called while Run is executing, the leave becomes a membership event at
+// the current sim clock: the release rides the retry machinery over the
+// (possibly lossy) side channel, promote pushes are delivered lossily
+// like any in-run notification (a lost one heals at the promoted node's
+// next renew ack), and the leaver's presence interval closes for the
+// run's stats.
 func (nw *Network) Leave(id uint32) {
-	if nw.running {
-		panic("simnet: Leave during Run is not supported — Run indexes nodes at start; churn between runs instead")
+	if rs := nw.run; rs != nil {
+		rs.leaveNow(id)
+		return
 	}
 	var leaver *Node
+	removedAt := -1
 	for i, n := range nw.Nodes {
 		if n.ID == id {
 			leaver = n
+			removedAt = i
 			nw.Nodes = append(nw.Nodes[:i], nw.Nodes[i+1:]...)
 			break
 		}
 	}
 	if leaver != nil {
+		nw.couplingRemoveNode(removedAt)
 		// Best-effort release through the retry machine: if every attempt
 		// dies on the side channel the lease TTL reclaims the spectrum.
 		leaver.seq++
@@ -284,7 +327,6 @@ func (nw *Network) Leave(id uint32) {
 	// The leaver is gone from the membership list, so the promote push
 	// (if any) is delivered reliably to whichever sharer it names.
 	nw.pushNotifications(true)
-	nw.invalidateCoupling()
 }
 
 // applyPromotion installs a PromoteMsg pushed after a release: the named
@@ -310,7 +352,7 @@ func (nw *Network) applyPromotion(reply []byte) bool {
 				WidthHz: p.WidthHz, FSKOffsetHz: p.FSKOffsetHz,
 			}
 			nw.applyAssignment(n)
-			nw.invalidateCoupling()
+			nw.couplingUpdateNode(n)
 			return true
 		}
 	}
@@ -460,58 +502,6 @@ func (nw *Network) couplingDB(i, j *Node) float64 {
 	own := cmplx.Abs(nw.SDM.HarmonicGain(j.SDMHarmonic, thJ))
 	leak := cmplx.Abs(nw.SDM.HarmonicGain(i.SDMHarmonic, thJ))
 	return tmaSuppressionDB(own, leak)
-}
-
-// invalidateCoupling marks the cached coupling matrix stale. Join, Leave,
-// promotion and MoveNode call it; blocker motion (Env.Step) does not,
-// because coupling depends only on assignments, harmonics and poses.
-func (nw *Network) invalidateCoupling() { nw.couplingDirty = true }
-
-// ensureCoupling rebuilds the cached coupling matrix if membership, poses
-// or assignments changed since the last build. The rebuild precomputes
-// each node's full TMA harmonic gain table at its angle of arrival once
-// (tma.GainTable), so the n² pair fill does table lookups instead of
-// re-summing the array response per pair, and stores each entry already
-// linearized (FromDB(−dB)) so the per-call interference sum pays no dB
-// conversion.
-func (nw *Network) ensureCoupling() {
-	n := len(nw.Nodes)
-	if !nw.couplingDirty && len(nw.coupling) == n*n {
-		return
-	}
-	if cap(nw.coupling) < n*n {
-		nw.coupling = make([]float64, n*n)
-	} else {
-		nw.coupling = nw.coupling[:n*n]
-	}
-	maxM := nw.SDM.MaxHarmonic()
-	tables := make([][]complex128, n)
-	nw.forEachNode(n, func(j int) {
-		tables[j] = nw.SDM.GainTable(nw.AP.AngleTo(nw.Nodes[j].Pose.Pos))
-	})
-	nw.forEachNode(n, func(i int) {
-		node := nw.Nodes[i]
-		row := nw.coupling[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			if i == j {
-				row[j] = 0 // unused: the interference sum skips i==j
-				continue
-			}
-			other := nw.Nodes[j]
-			if c, ok := nw.freqCouplingDB(node, other); ok {
-				row[j] = units.FromDB(-c)
-				continue
-			}
-			if !node.SDMShared && !other.SDMShared {
-				row[j] = 1 // full collision, 0 dB
-				continue
-			}
-			own := cmplx.Abs(tables[j][other.SDMHarmonic+maxM])
-			leak := cmplx.Abs(tables[j][node.SDMHarmonic+maxM])
-			row[j] = units.FromDB(-tmaSuppressionDB(own, leak))
-		}
-	})
-	nw.couplingDirty = false
 }
 
 // forEachNode runs fn(i) for every i in [0,n), fanned out across the

@@ -651,25 +651,31 @@ func TestCouplingAdjacencyByEdgeDistance(t *testing.T) {
 	}
 }
 
-// TestChurnDuringRunPanics guards the Run engine's start-of-run indexing.
-func TestChurnDuringRunPanics(t *testing.T) {
+// TestRunNotReentrant guards the one remaining in-run restriction: Run
+// itself cannot nest. (Join and Leave during Run are now legal — they
+// become membership events at the sim clock; see churn_test.go.)
+func TestRunNotReentrant(t *testing.T) {
 	nw := newTestNetwork(65)
-	placeNodes(t, nw, 1, 10e6)
-	nw.running = true
-	defer func() { nw.running = false }()
-	mustPanic := func(name string, fn func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s during Run should panic", name)
-			}
-		}()
-		fn()
-	}
-	mustPanic("Join", func() {
-		nw.Join(9, channel.Pose{Pos: channel.Vec2{X: 3, Y: 2}}, 1e6, HDCamera(8))
+	n := joinOne(t, nw, 1, 10e6)
+	fired := false
+	n.Traffic = trafficFunc(func() (float64, int) {
+		if !fired {
+			fired = true
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("nested Run should panic")
+					}
+				}()
+				nw.Run(0.01, 0, 10)
+			}()
+		}
+		return 0.02, 125
 	})
-	mustPanic("Leave", func() { nw.Leave(1) })
-	mustPanic("Run", func() { nw.Run(0.1, 0.05, 10) })
+	nw.Run(0.1, 0.05, 10)
+	if !fired {
+		t.Fatal("traffic callback never fired")
+	}
 }
 
 // TestValidateSpectrumThroughHeavyChurn stress-drives the full lifecycle —

@@ -2,6 +2,7 @@ package mmx
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -416,5 +417,50 @@ func TestNetworkChurnLifecycleAPI(t *testing.T) {
 	}
 	if got := nw.Reports(); len(got) != 1 || got[0].SINRdB <= 0 {
 		t.Errorf("post-move reports = %+v", got)
+	}
+}
+
+func TestScheduledChurnFacade(t *testing.T) {
+	env := NewLabEnvironment(7)
+	nw := env.NewNetwork(Pose{X: 0.3, Y: 2}, 11)
+	for i := uint32(1); i <= 3; i++ {
+		if _, err := nw.Join(i, Facing(1+float64(i), 1, 0.3, 2), 10e6, TelemetryTraffic(0.05)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.ScheduleJoin(0.2, 10, Facing(3, 2.5, 0.3, 2), 10e6, CameraTraffic(8))
+	nw.ScheduleLeave(0.5, 2)
+	var events []string
+	nw.OnMembershipChange(func(event string, id uint32) {
+		events = append(events, event)
+		if err := nw.ValidateSpectrum(); err != nil {
+			t.Fatalf("spectrum after %s of %d: %v", event, id, err)
+		}
+	})
+	st := nw.Run(1.0, 0.1, 10)
+	if st.Joins != 1 || st.Leaves != 1 || st.JoinsFailed != 0 {
+		t.Fatalf("Joins=%d Leaves=%d JoinsFailed=%d, want 1/1/0", st.Joins, st.Leaves, st.JoinsFailed)
+	}
+	if len(events) != 2 || events[0] != "join" || events[1] != "leave" {
+		t.Fatalf("membership events = %v, want [join leave]", events)
+	}
+	if len(st.PerNode) != 4 {
+		t.Fatalf("PerNode = %d entries, want 4", len(st.PerNode))
+	}
+	for _, s := range st.PerNode {
+		switch s.ID {
+		case 2:
+			if s.ActiveS >= 0.6 || s.ActiveS <= 0.4 {
+				t.Errorf("leaver ActiveS = %g, want ~0.5", s.ActiveS)
+			}
+		case 10:
+			if s.JoinedAtS < 0.2 || s.FramesSent == 0 {
+				t.Errorf("joiner JoinedAtS=%g FramesSent=%d", s.JoinedAtS, s.FramesSent)
+			}
+		}
+	}
+	// Duplicate admission stays rejected through the facade.
+	if _, err := nw.Join(10, Facing(3, 2.5, 0.3, 2), 1e6, TelemetryTraffic(1)); !errors.Is(err, ErrJoinFailed) {
+		t.Fatalf("duplicate facade join: %v, want ErrJoinFailed", err)
 	}
 }

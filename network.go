@@ -21,6 +21,15 @@ func (e *Environment) NewNetwork(ap Pose, seed uint64) *Network {
 // Traffic describes a node's offered load.
 type Traffic = simnet.TrafficModel
 
+// ErrJoinFailed reports a node the AP could not admit — the handshake
+// exhausted its retries, or the ID duplicates a live member. Test with
+// errors.Is.
+var ErrJoinFailed = simnet.ErrJoinFailed
+
+// NoSampleSINRdB is the sentinel NodeStats.MinSINRdB / MeanSINRdB carry
+// for a node with zero SINR samples (down or absent for its whole run).
+var NoSampleSINRdB = simnet.NoSampleSINRdB
+
 // CameraTraffic returns the paper's canonical workload: an HD video
 // stream at the given application megabits per second (§1 footnote:
 // "HD video streaming requires 8-10 Mbps").
@@ -44,6 +53,10 @@ type NodeInfo struct {
 // Join admits a node: the initialization handshake (§4) runs over the
 // simulated control channel, spectrum is allocated (FDM first, SDM
 // fallback), and the node's OTAM link is configured on its assignment.
+// A duplicate node ID is rejected with ErrJoinFailed. Join is legal
+// during Run (from a traffic callback or OnMembershipChange): the join
+// becomes a membership event at the current sim clock, with the
+// handshake's virtual time elapsing before the node goes on the air.
 func (n *Network) Join(id uint32, pose Pose, demandBps float64, traffic Traffic) (NodeInfo, error) {
 	node, err := n.nw.Join(id, pose.internal(), demandBps, traffic)
 	if err != nil {
@@ -60,8 +73,33 @@ func (n *Network) Join(id uint32, pose Pose, demandBps float64, traffic Traffic)
 // Leave removes a node and returns its spectrum to the pool, churn-safely:
 // if the leaver owned a channel that SDM sharers still occupy, the best
 // sharer is promoted to exclusive owner instead of the channel being
-// re-granted over the sharers' heads.
+// re-granted over the sharers' heads. Like Join, Leave is legal during
+// Run — it executes as a membership event at the current sim clock.
 func (n *Network) Leave(id uint32) { n.nw.Leave(id) }
+
+// ScheduleJoin plans a node admission at absolute sim time at (seconds
+// from Run start). The join executes inside the next Run through the
+// full (possibly lossy) control handshake; a handshake that exhausts
+// its retries only increments RunStats.JoinsFailed. Together with
+// ScheduleLeave this models live churn — devices arriving and departing
+// while the network serves traffic — deterministically from the seed.
+func (n *Network) ScheduleJoin(at float64, id uint32, pose Pose, demandBps float64, traffic Traffic) {
+	n.nw.ScheduleJoin(at, id, pose.internal(), demandBps, traffic)
+}
+
+// ScheduleLeave plans a node departure at absolute sim time at. The
+// departure executes inside the next Run through the release-retry
+// machinery; a non-member ID at that time is a no-op.
+func (n *Network) ScheduleLeave(at float64, id uint32) { n.nw.ScheduleLeave(at, id) }
+
+// OnMembershipChange registers a callback invoked after every membership
+// event applied inside Run — event is "join" or "leave" — with the
+// network already in its post-event state. Tools use it to audit
+// ValidateSpectrum after each event; it runs at the sim clock inside the
+// event loop, so keep it cheap and deterministic. Pass nil to clear.
+func (n *Network) OnMembershipChange(fn func(event string, id uint32)) {
+	n.nw.OnMembership = fn
+}
 
 // MoveNode repositions a live node and refreshes its link geometry, TMA
 // harmonic slot, and the network's cached interference state. It reports
@@ -162,6 +200,10 @@ func (n *Network) SetLeaseTTL(ttlS, renewIntervalS float64) {
 // probability (1−BER)^bits at the node's instantaneous SINR. envStep sets
 // how often the environment (and the SINR snapshot) refreshes;
 // outageSINRdB defines the outage threshold recorded in the stats.
+// Membership may change mid-run (ScheduleJoin/ScheduleLeave, or
+// Join/Leave from callbacks): per-node stats follow the node by ID, and
+// time-normalized figures divide by each node's time-present
+// (NodeStats.ActiveS). Run is not reentrant.
 func (n *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 	return n.nw.Run(duration, envStep, outageSINRdB)
 }
