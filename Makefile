@@ -9,6 +9,11 @@ BENCH_PATTERN  ?= OTAMFrameRoundtrip|NetworkSINREvaluation|Fig11BERCDF
 BENCH_BASELINE ?= BENCH_phy.json
 BENCH_AP_PATTERN  ?= APWidebandDemux
 BENCH_AP_BASELINE ?= BENCH_ap.json
+# The network scaling curve (sparse coupling core at 1k/10k/100k nodes)
+# runs each size once — an iteration is a whole churning Run, seconds
+# long, so -benchtime=1x keeps the gate affordable.
+BENCH_NET_PATTERN  ?= NetworkScale
+BENCH_NET_BASELINE ?= BENCH_net.json
 BENCH_OUT      ?= bench.out
 
 .PHONY: build test bench bench-baseline bench-check profile clean
@@ -29,16 +34,24 @@ bench-baseline:
 	$(GO) run ./cmd/mmx-benchstat -emit -o $(BENCH_BASELINE) < $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench '$(BENCH_AP_PATTERN)' -benchmem . > $(BENCH_OUT)
 	$(GO) run ./cmd/mmx-benchstat -emit -o $(BENCH_AP_BASELINE) < $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench '$(BENCH_NET_PATTERN)' -benchtime=1x -benchmem . > $(BENCH_OUT)
+	$(GO) run ./cmd/mmx-benchstat -emit -o $(BENCH_NET_BASELINE) < $(BENCH_OUT)
 	@rm -f $(BENCH_OUT)
-	@echo "wrote $(BENCH_BASELINE) $(BENCH_AP_BASELINE)"
+	@echo "wrote $(BENCH_BASELINE) $(BENCH_AP_BASELINE) $(BENCH_NET_BASELINE)"
 
 # bench-check reruns the gated benchmarks and fails on >15% ns/op
 # regression or any allocs/op increase against the committed baselines.
+# The network scaling curve gets a +50% ns/op limit instead: each size
+# runs a single multi-second iteration, so wall-clock noise is larger —
+# a genuine complexity regression still trips it by an order of
+# magnitude, and the allocs/op gate stays strict.
 bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . > $(BENCH_OUT)
 	$(GO) run ./cmd/mmx-benchstat -check -baseline $(BENCH_BASELINE) < $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench '$(BENCH_AP_PATTERN)' -benchmem . > $(BENCH_OUT)
 	$(GO) run ./cmd/mmx-benchstat -check -baseline $(BENCH_AP_BASELINE) < $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench '$(BENCH_NET_PATTERN)' -benchtime=1x -benchmem . > $(BENCH_OUT)
+	$(GO) run ./cmd/mmx-benchstat -check -baseline $(BENCH_NET_BASELINE) -threshold 0.50 < $(BENCH_OUT)
 	@rm -f $(BENCH_OUT)
 
 # profile runs a representative simulation under the pprof CPU and heap

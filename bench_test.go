@@ -8,6 +8,7 @@ package mmx
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"mmx/internal/apdsp"
@@ -321,6 +322,66 @@ func BenchmarkAblationFilter(b *testing.B) {
 	}
 	last := r.Rows[len(r.Rows)-1]
 	b.ReportMetric(last.SINRWithFilter-last.SINRNoFilter, "dB-filter-gain-26GHz")
+}
+
+// BenchmarkNetworkScale is the billions-of-things scaling gate: an
+// end-to-end churning deployment — joins, a traffic-serving Run with
+// scheduled leave/join churn, and a final full SINR evaluation — at 1k,
+// 10k and 100k nodes. Node density is constant (the field side grows as
+// √n), so the audible neighborhood around the AP stays bounded while
+// the membership grows by 100×; the sparse coupling core (CouplingAuto
+// crosses over below the 1k rung) is what keeps the whole run
+// near-linear. Committed baseline: BENCH_net.json, gated in CI by
+// mmx-benchstat like the PHY and AP numbers.
+func BenchmarkNetworkScale(b *testing.B) {
+	for _, size := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("nodes=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchNetworkScale(b, size)
+			}
+		})
+	}
+}
+
+func benchNetworkScale(b *testing.B, size int) {
+	// ~6 km side per 1k nodes keeps the per-victim audible source set at
+	// a few hundred regardless of n (the audibility radius for these
+	// telemetry channels is ≈1.7 km).
+	side := 6000 * math.Sqrt(float64(size)/1000)
+	env := NewEnvironment(side, side, 11)
+	nw := env.NewNetwork(Pose{X: side / 2, Y: side / 2}, 13)
+	// Sparse from the first join: the auto crossover would pay the dense
+	// path's O(members) host-channel scans and O(n²) matrix growth for
+	// the first 768 joins — measurable noise at 1k, pure waste at 100k.
+	nw.SetCouplingMode(CouplingSparse)
+	nw.SetLeaseTTL(0, 0) // no keepalive cycle: the bench pins churn + traffic cost
+	rng := stats.NewRNG(99)
+	place := func() Pose {
+		return Facing(rng.Uniform(1, side-1), rng.Uniform(1, side-1), side/2, side/2)
+	}
+	id := uint32(1)
+	for i := 0; i < size; i++ {
+		if _, err := nw.Join(id, place(), 1e6, TelemetryTraffic(5)); err != nil {
+			b.Fatal(err)
+		}
+		id++
+	}
+	// Membership churn through the run: leaves spread across the whole
+	// ID range (owners and sharers alike), each paired with a fresh join.
+	const churn = 100
+	for k := 0; k < churn; k++ {
+		at := 0.02 + 4.5*float64(k)/churn
+		nw.ScheduleLeave(at, uint32(1+k*(size/churn)))
+		nw.ScheduleJoin(at+0.005, id, place(), 1e6, TelemetryTraffic(5))
+		id++
+	}
+	st := nw.Run(5, 1, 0)
+	if st.Joins != churn || st.Leaves != churn {
+		b.Fatalf("churn incomplete: %d joins, %d leaves", st.Joins, st.Leaves)
+	}
+	if reports := nw.Reports(); len(reports) != size {
+		b.Fatalf("membership drifted: %d nodes", len(reports))
+	}
 }
 
 func BenchmarkExtScale(b *testing.B) {

@@ -40,6 +40,7 @@ func main() {
 	crash := flag.String("crash", "", "comma-separated node crash events, each ID@seconds")
 	reboot := flag.String("reboot", "", "comma-separated node reboot events, each ID@seconds")
 	apRestart := flag.String("ap-restart", "", "AP restart as start@downFor seconds")
+	coupling := flag.String("coupling", "auto", "interference bookkeeping: auto (dense below the crossover size, sparse above), dense, or sparse")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
@@ -81,6 +82,17 @@ func main() {
 	env := mmx.NewEnvironment(w, h, *seed)
 	apPose := mmx.Pose{X: 0.3, Y: h / 2, FacingRad: 0}
 	nw := env.NewNetwork(apPose, *seed+1)
+	switch strings.ToLower(*coupling) {
+	case "auto":
+		nw.SetCouplingMode(mmx.CouplingAuto)
+	case "dense":
+		nw.SetCouplingMode(mmx.CouplingDense)
+	case "sparse":
+		nw.SetCouplingMode(mmx.CouplingSparse)
+	default:
+		fmt.Fprintf(os.Stderr, "bad -coupling %q (want auto, dense or sparse)\n", *coupling)
+		os.Exit(2)
+	}
 	nw.SetLeaseTTL(*leaseTTL, *leaseTTL*0.3)
 	if *drop > 0 || *dup > 0 || *trunc > 0 {
 		nw.SetLossyControl(*seed+2, *drop, *dup, *trunc)

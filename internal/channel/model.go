@@ -68,10 +68,13 @@ func elevationGain(elev, hpbw float64) float64 {
 // the coherent sum over all propagation paths. |Gain|² is the power gain
 // of the link (linear), including both antenna gains.
 func (e *Environment) Gain(txPose Pose, txPat antenna.Pattern, rxPose Pose, rxPat antenna.Pattern) complex128 {
+	s := pathScratchPool.Get().(*pathScratch)
+	s.out, s.backing = e.appendPaths(txPose.Pos, rxPose.Pos, s.out, s.backing)
 	var h complex128
-	for _, p := range e.Paths(txPose.Pos, rxPose.Pos) {
+	for _, p := range s.out {
 		h += e.PathGain(p, txPose, txPat, rxPose, rxPat)
 	}
+	pathScratchPool.Put(s)
 	return h
 }
 
@@ -100,21 +103,28 @@ func (e *Environment) BeamGains(nodePose Pose, beams antenna.NodeBeams, apPose P
 // enumeration matters because ray tracing dominates a link evaluation,
 // and the separate entry points each pay for it again.
 func (e *Environment) BeamGainsWithClass(nodePose Pose, beams antenna.NodeBeams, apPose Pose, apPat antenna.Pattern) (h0, h1 complex128, class string) {
-	paths := e.Paths(nodePose.Pos, apPose.Pos)
-	for _, p := range paths {
+	s := pathScratchPool.Get().(*pathScratch)
+	s.out, s.backing = e.appendPaths(nodePose.Pos, apPose.Pos, s.out, s.backing)
+	for _, p := range s.out {
 		h0 += e.PathGain(p, nodePose, beams.Beam0, apPose, apPat)
 	}
-	for _, p := range paths {
+	for _, p := range s.out {
 		h1 += e.PathGain(p, nodePose, beams.Beam1, apPose, apPat)
 	}
-	return h0, h1, pathClass(paths)
+	class = pathClass(s.out)
+	pathScratchPool.Put(s)
+	return h0, h1, class
 }
 
 // BestPathClass summarizes the dominant propagation regime between two
 // points, ignoring antennas: "los", "nlos" (LoS blocked but a reflection
 // survives), or "blocked" (everything crosses a blocker).
 func (e *Environment) BestPathClass(tx, rx Vec2) string {
-	return pathClass(e.Paths(tx, rx))
+	s := pathScratchPool.Get().(*pathScratch)
+	s.out, s.backing = e.appendPaths(tx, rx, s.out, s.backing)
+	class := pathClass(s.out)
+	pathScratchPool.Put(s)
+	return class
 }
 
 func pathClass(paths []Path) string {

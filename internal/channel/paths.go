@@ -2,7 +2,7 @@ package channel
 
 import (
 	"math"
-	"sort"
+	"sync"
 )
 
 // Path is one propagation route from transmitter to receiver.
@@ -36,11 +36,32 @@ func (p Path) ExcessLossDB() float64 { return p.ReflectionLossDB + p.BlockageLos
 // Paths are returned strongest-class first (fewest reflections, shortest).
 //
 // Every Path's Points slice is a capped view into one backing array sized
-// up front, so an enumeration costs three allocations regardless of how
-// many paths exist — this is the per-node hot path of both the waveform
-// transmitter and the network SINR engine. All state is call-local;
-// concurrent Paths calls on a shared Environment remain safe.
+// up front, so an enumeration costs at most two allocations regardless of
+// how many paths exist — this is the per-node hot path of both the
+// waveform transmitter and the network SINR engine. All state is
+// call-local; concurrent Paths calls on a shared Environment remain safe.
 func (e *Environment) Paths(tx, rx Vec2) []Path {
+	out, _ := e.appendPaths(tx, rx, nil, nil)
+	return out
+}
+
+// pathScratch recycles the two slices a path enumeration needs. The
+// fold-and-discard callers (Gain, BeamGainsWithClass, BestPathClass)
+// borrow one from the pool, so steady-state link evaluations allocate
+// nothing — at 100k-node scale the per-evaluation garbage otherwise
+// dominates GC time.
+type pathScratch struct {
+	out     []Path
+	backing []Vec2
+}
+
+var pathScratchPool = sync.Pool{New: func() any { return new(pathScratch) }}
+
+// appendPaths is the enumeration core behind Paths: it fills out and
+// backing (reusing their capacity when sufficient) and returns both so a
+// caller can recycle them. The returned Paths alias backing; they are
+// valid until the slices are next reused.
+func (e *Environment) appendPaths(tx, rx Vec2, out []Path, backing []Vec2) ([]Path, []Vec2) {
 	walls := e.Room.allWalls()
 	maxR := e.MaxReflections
 	nWalls := len(walls)
@@ -54,8 +75,16 @@ func (e *Environment) Paths(tx, rx Vec2) []Path {
 		maxPaths += nWalls * (nWalls - 1)
 		maxPts += 4 * nWalls * (nWalls - 1)
 	}
-	out := make([]Path, 0, maxPaths)
-	backing := make([]Vec2, 0, maxPts)
+	if cap(out) < maxPaths {
+		out = make([]Path, 0, maxPaths)
+	} else {
+		out = out[:0]
+	}
+	if cap(backing) < maxPts {
+		backing = make([]Vec2, 0, maxPts)
+	} else {
+		backing = backing[:0]
+	}
 
 	// seal returns the points appended since start as an immutable-length
 	// view (capped capacity: appending to one path can never clobber the
@@ -122,13 +151,24 @@ func (e *Environment) Paths(tx, rx Vec2) []Path {
 		}
 	}
 
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Reflections != out[j].Reflections {
-			return out[i].Reflections < out[j].Reflections
+	// Insertion sort: path counts are tiny (≤1+w+w(w−1) for w walls) and
+	// this runs on every link evaluation — sort.Slice's reflection-based
+	// swapper allocates and dominates at 100k-node scale.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && pathLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
-		return out[i].Length < out[j].Length
-	})
-	return out
+	}
+	return out, backing
+}
+
+// pathLess orders paths strongest-class first: fewest reflections, then
+// shortest.
+func pathLess(a, b Path) bool {
+	if a.Reflections != b.Reflections {
+		return a.Reflections < b.Reflections
+	}
+	return a.Length < b.Length
 }
 
 // reflectionPoint1 finds the single-bounce reflection point off walls[wi],

@@ -108,7 +108,16 @@ type Environment struct {
 	// different heights: the node's patches have a 65° elevation beam
 	// (§9.1) and the AP dipole 62° (§8.2). Zero disables the factor.
 	TxElevationHPBW, RxElevationHPBW float64
+	// epoch counts Step calls that actually moved something. Consumers
+	// caching link evaluations (the sparse coupling core) compare it to
+	// decide whether blocker motion stales their cache.
+	epoch uint64
 }
+
+// Epoch returns a counter that advances whenever blocker motion may have
+// changed the propagation picture. Equal epochs guarantee no blocker has
+// moved between the two observations.
+func (e *Environment) Epoch() uint64 { return e.epoch }
 
 // NewEnvironment creates a scene at the 24 GHz ISM band center with the
 // paper's elevation beamwidths.
@@ -121,11 +130,17 @@ func NewEnvironment(room *Room, freqHz float64) *Environment {
 }
 
 // AddBlocker places an obstacle in the scene.
-func (e *Environment) AddBlocker(b *Blocker) { e.Blockers = append(e.Blockers, b) }
+func (e *Environment) AddBlocker(b *Blocker) {
+	e.Blockers = append(e.Blockers, b)
+	e.epoch++
+}
 
 // Step advances all blockers by dt seconds, bouncing them off the walls so
 // "people walking around" (§9.2) stay inside the room.
 func (e *Environment) Step(dt float64) {
+	if len(e.Blockers) > 0 {
+		e.epoch++
+	}
 	for _, b := range e.Blockers {
 		b.Pos = b.Pos.Add(b.Vel.Scale(dt))
 		if b.Pos.X < b.Radius {

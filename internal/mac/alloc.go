@@ -46,6 +46,13 @@ type Allocator struct {
 	FSKFraction float64
 	// Policy selects the gap-placement strategy (FirstFit default).
 	Policy Policy
+	// cache is the frequency-sorted view of byNode, rebuilt lazily after a
+	// mutation. Once the band fills, every overflow join still probes
+	// Allocate (ErrBandFull) and then reads Assignments to pick an SDM
+	// share — two sorted views per join with no intervening mutation, so
+	// caching turns a per-join O(k log k) sort into a map hit.
+	cache   []Assignment
+	cacheOK bool
 }
 
 // NewAllocator creates an allocator over the band.
@@ -88,6 +95,7 @@ func (al *Allocator) Allocate(nodeID uint32, demandBps float64) (Assignment, err
 		FSKOffsetHz: width * al.FSKFraction,
 	}
 	al.byNode[nodeID] = asg
+	al.cacheOK = false
 	return asg, nil
 }
 
@@ -166,6 +174,7 @@ func (al *Allocator) AllocateRegion(nodeID uint32, centerHz, widthHz float64) (A
 		FSKOffsetHz: widthHz * al.FSKFraction,
 	}
 	al.byNode[nodeID] = asg
+	al.cacheOK = false
 	return asg, nil
 }
 
@@ -175,6 +184,7 @@ func (al *Allocator) Release(nodeID uint32) error {
 		return ErrNotAllocated
 	}
 	delete(al.byNode, nodeID)
+	al.cacheOK = false
 	return nil
 }
 
@@ -184,8 +194,11 @@ func (al *Allocator) Lookup(nodeID uint32) (Assignment, bool) {
 	return a, ok
 }
 
-// Assignments returns all live assignments ordered by frequency.
-func (al *Allocator) Assignments() []Assignment { return al.sorted() }
+// Assignments returns all live assignments ordered by frequency. The
+// returned slice is the caller's to keep.
+func (al *Allocator) Assignments() []Assignment {
+	return append([]Assignment(nil), al.sorted()...)
+}
 
 // FreeHz returns the total unallocated spectrum.
 func (al *Allocator) FreeHz() float64 {
@@ -221,11 +234,17 @@ func (al *Allocator) Validate() error {
 	return nil
 }
 
+// sorted returns the cached frequency-sorted assignment list. The slice
+// is shared across calls until the next mutation — internal callers must
+// not modify it (Assignments hands external callers a copy).
 func (al *Allocator) sorted() []Assignment {
-	out := make([]Assignment, 0, len(al.byNode))
-	for _, a := range al.byNode {
-		out = append(out, a)
+	if !al.cacheOK {
+		al.cache = al.cache[:0]
+		for _, a := range al.byNode {
+			al.cache = append(al.cache, a)
+		}
+		sort.Slice(al.cache, func(i, j int) bool { return al.cache[i].CenterHz < al.cache[j].CenterHz })
+		al.cacheOK = true
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].CenterHz < out[j].CenterHz })
-	return out
+	return al.cache
 }

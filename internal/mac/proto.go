@@ -650,7 +650,7 @@ func (c *Controller) handle(msg any) ([]byte, error) {
 			// single channel absorbs all the spatial reuse. The lease
 			// starts when the node confirms its placement.
 			share := c.Alloc.band.LowHz + BandwidthForRate(m.DemandBps)/2
-			if got := c.Alloc.Assignments(); len(got) > 0 {
+			if got := c.Alloc.sorted(); len(got) > 0 {
 				share = got[c.nextShare%len(got)].CenterHz
 				c.nextShare++
 			}

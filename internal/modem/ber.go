@@ -2,6 +2,7 @@ package modem
 
 import (
 	"math"
+	"sync/atomic"
 
 	"mmx/internal/stats"
 )
@@ -52,6 +53,12 @@ func FSKBER(snrDB float64) float64 {
 	return ber
 }
 
+// reqSNRMemo holds the last RequiredSNRForOOKBER result. Rate adaptation
+// inverts the same target BER for every node on every environment step;
+// without this, each call pays QInv's 200-iteration bisection (one Erfc
+// per iteration) to re-derive a constant.
+var reqSNRMemo atomic.Pointer[[2]float64]
+
 // RequiredSNRForOOKBER inverts OOKBER: the peak SNR in dB needed to reach
 // a target BER. Targets at or below BERFloor return the SNR for BERFloor.
 func RequiredSNRForOOKBER(ber float64) float64 {
@@ -61,6 +68,11 @@ func RequiredSNRForOOKBER(ber float64) float64 {
 	if ber < BERFloor {
 		ber = BERFloor
 	}
+	if m := reqSNRMemo.Load(); m != nil && m[0] == ber {
+		return m[1]
+	}
 	x := stats.QInv(ber)
-	return 10 * math.Log10(x*x)
+	snr := 10 * math.Log10(x*x)
+	reqSNRMemo.Store(&[2]float64{ber, snr})
+	return snr
 }

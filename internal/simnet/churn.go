@@ -86,13 +86,12 @@ func (rs *runState) joinNow(id uint32, pose channel.Pose, demandBps float64, tra
 		n.Link = core.NewLink(nw.Env, pose, nw.AP)
 		n.Link.Beams = nw.NodeBeams
 		nw.applyAssignment(n)
-		nw.Nodes = append(nw.Nodes, n)
+		nw.registerNode(n)
 		nw.couplingAddNode()
 		rs.joins++
 		h := rs.handle(id)
 		h.present = true
 		h.joinedAt = rs.sim.Now()
-		rs.reindex()
 		rs.refresh()
 		rs.scheduleFrames(n)
 		if nw.OnMembership != nil {
@@ -112,20 +111,13 @@ func (rs *runState) joinNow(id uint32, pose channel.Pose, demandBps float64, tra
 // generation-cancelled. Leaving a non-member is a no-op.
 func (rs *runState) leaveNow(id uint32) {
 	nw := rs.nw
-	var leaver *Node
-	removedAt := -1
-	for i, n := range nw.Nodes {
-		if n.ID == id {
-			leaver = n
-			removedAt = i
-			nw.Nodes = append(nw.Nodes[:i], nw.Nodes[i+1:]...)
-			break
-		}
-	}
+	leaver := nw.nodeByID(id)
 	if leaver == nil {
 		return
 	}
-	nw.couplingRemoveNode(removedAt)
+	removedAt := leaver.idx
+	nw.unregisterNodeAt(removedAt)
+	nw.couplingRemoveNode(leaver, removedAt)
 	if !leaver.Down {
 		leaver.seq++
 		nw.transact(mac.ReleaseMsg{NodeID: id, Seq: leaver.seq}, rs.ctrlNow()) //nolint:errcheck
@@ -143,7 +135,6 @@ func (rs *runState) leaveNow(id uint32) {
 		h.present = false
 	}
 	h.gen++ // cancels the departed node's in-flight frame chain
-	rs.reindex()
 	rs.refresh()
 	if nw.OnMembership != nil {
 		nw.OnMembership("leave", id)

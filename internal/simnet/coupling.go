@@ -49,8 +49,13 @@ func (nw *Network) pairCouplingLinear(node, other *Node, tblOther []complex128) 
 
 // couplingValid reports whether the cached matrix and gain tables are
 // trustworthy for a membership of size n — the precondition every
-// incremental update checks before touching the cache.
+// incremental update checks before touching the cache. A live sparse
+// core maintains its own incremental state, so it always counts as
+// valid.
 func (nw *Network) couplingValid(n int) bool {
+	if nw.sparse != nil {
+		return true
+	}
 	return !nw.couplingDirty && len(nw.coupling) == n*n && len(nw.couplingTables) == n
 }
 
@@ -63,6 +68,9 @@ func (nw *Network) couplingValid(n int) bool {
 // The gain tables are kept (couplingTables) so membership changes can
 // update the matrix incrementally instead of re-running this O(n²) pass.
 func (nw *Network) ensureCoupling() {
+	if nw.sparse != nil {
+		return
+	}
 	n := len(nw.Nodes)
 	if nw.couplingValid(n) {
 		return
@@ -101,6 +109,14 @@ func (nw *Network) ensureCoupling() {
 // degrades to the dirty flag.
 func (nw *Network) couplingAddNode() {
 	n := len(nw.Nodes)
+	if nw.sparse == nil && nw.couplingMode == CouplingAuto && n >= sparseCrossover {
+		nw.enterSparse() // builds state for the full membership, newcomer included
+		return
+	}
+	if nw.sparse != nil {
+		nw.sparse.addNode(nw, nw.Nodes[n-1])
+		return
+	}
 	old := n - 1
 	if !nw.couplingValid(old) {
 		nw.couplingDirty = true
@@ -132,10 +148,15 @@ func (nw *Network) couplingAddNode() {
 }
 
 // couplingRemoveNode compacts row and column k out of the cache after
-// the node at (former) index k was removed from nw.Nodes. Pure memory
-// moves — no pair kernel runs. With an untrusted cache it degrades to
-// the dirty flag.
-func (nw *Network) couplingRemoveNode(k int) {
+// leaver (formerly at index k) was removed from nw.Nodes. The dense path
+// is pure memory moves — no pair kernel runs; the sparse path unhooks
+// the leaver's adjacency. With an untrusted cache it degrades to the
+// dirty flag.
+func (nw *Network) couplingRemoveNode(leaver *Node, k int) {
+	if nw.sparse != nil {
+		nw.sparse.removeNode(nw, leaver)
+		return
+	}
 	old := len(nw.Nodes) + 1
 	if !nw.couplingValid(old) || k < 0 || k >= old {
 		nw.couplingDirty = true
@@ -164,22 +185,22 @@ func (nw *Network) couplingRemoveNode(k int) {
 // couplingUpdateNode recomputes one live node's row and column after its
 // assignment or SDM role changed (promotion, renew re-sync, reboot
 // rejoin) — the node's pose is unchanged, so its cached gain table stays
-// valid and the update is O(n). With an untrusted cache (or a node not
-// in the membership list) it degrades to the dirty flag.
+// valid and the update is O(n). The target's index comes from its
+// maintained idx field, not the O(n) membership scan earlier revisions
+// paid per update. With an untrusted cache (or a node not in the
+// membership list) it degrades to the dirty flag.
 func (nw *Network) couplingUpdateNode(target *Node) {
+	if nw.sparse != nil {
+		nw.sparse.updateNode(nw, target)
+		return
+	}
 	n := len(nw.Nodes)
 	if !nw.couplingValid(n) {
 		nw.couplingDirty = true
 		return
 	}
-	i := -1
-	for k, node := range nw.Nodes {
-		if node == target {
-			i = k
-			break
-		}
-	}
-	if i < 0 {
+	i := target.idx
+	if i < 0 || i >= n || nw.Nodes[i] != target {
 		nw.couplingDirty = true
 		return
 	}
@@ -189,5 +210,47 @@ func (nw *Network) couplingUpdateNode(target *Node) {
 		}
 		nw.coupling[i*n+j] = nw.pairCouplingLinear(target, nw.Nodes[j], nw.couplingTables[j])
 		nw.coupling[j*n+i] = nw.pairCouplingLinear(nw.Nodes[j], target, nw.couplingTables[i])
+	}
+}
+
+// couplingMoveNode refreshes the cache after target's pose (and possibly
+// harmonic slot) changed: its gain table is recomputed at the new angle
+// of arrival, then its row and column are recomputed in place — O(n)
+// pair kernels instead of the full O(n²) rebuild MoveNode used to force
+// through invalidateCoupling. With an untrusted cache it degrades to the
+// dirty flag.
+func (nw *Network) couplingMoveNode(target *Node) {
+	if nw.sparse != nil {
+		nw.sparse.moveNode(nw, target)
+		return
+	}
+	n := len(nw.Nodes)
+	if !nw.couplingValid(n) {
+		nw.couplingDirty = true
+		return
+	}
+	i := target.idx
+	if i < 0 || i >= n || nw.Nodes[i] != target {
+		nw.couplingDirty = true
+		return
+	}
+	nw.couplingTables[i] = nw.SDM.GainTable(nw.AP.AngleTo(target.Pose.Pos))
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		nw.coupling[i*n+j] = nw.pairCouplingLinear(target, nw.Nodes[j], nw.couplingTables[j])
+		nw.coupling[j*n+i] = nw.pairCouplingLinear(nw.Nodes[j], target, nw.couplingTables[i])
+	}
+}
+
+// couplingPowerChanged tells the coupling layer a node's transmit state
+// flipped without its assignment changing (crash, reboot-in-progress).
+// The dense matrix doesn't cache power — EvaluateSINR zeroes Down nodes
+// each call — but the sparse core's victims must re-sum their
+// interference rows, so it marks them dirty.
+func (nw *Network) couplingPowerChanged(target *Node) {
+	if nw.sparse != nil {
+		nw.sparse.powerChanged(nw, target)
 	}
 }

@@ -1,0 +1,843 @@
+package simnet
+
+import (
+	"math"
+	"math/cmplx"
+
+	"mmx/internal/channel"
+	"mmx/internal/core"
+	"mmx/internal/rf"
+	"mmx/internal/units"
+)
+
+// This file owns the sparse spatial coupling core — the scale path the
+// dense matrix in coupling.go is the golden reference for. Instead of an
+// n×n matrix it keeps a directed interference graph: node j has an edge
+// into node i only when j's power can provably reach i's receiver above
+// a cutoff anchored at i's noise floor. Everything in the network is
+// received at the AP, so an edge needs two things at once:
+//
+//   - the SOURCE must be audible: a conservative, motion-invariant bound
+//     on its received power at the AP (pBound, derived below) must clear
+//     the victim's threshold. Sources far from the AP fail this for
+//     every victim and carry no edges at all — the spatial screen, served
+//     by a uniform grid over the room.
+//   - the PAIR's frequency-domain factor w (the same pairCouplingLinear
+//     kernel the dense matrix uses) must keep pBound·w above the
+//     threshold — the frequency screen, served by a per-channel registry
+//     (co-channel victims are the channel's occupants; other channels
+//     are screened by a conservative ACLR class bound).
+//
+// Per-victim interference is always re-summed from the node's in-edge
+// list when anything feeding it changes — never maintained by scalar
+// adds and subtracts, which would drift past the ≤1e-12 equivalence
+// discipline. Membership, motion, promotion and crash events mark the
+// affected victims dirty; settle() then re-evaluates exactly the dirty
+// set, so an event costs O(degree), not O(n).
+
+// CouplingMode selects the interference bookkeeping strategy.
+type CouplingMode int
+
+const (
+	// CouplingAuto runs the dense matrix until membership reaches
+	// sparseCrossover, then switches (one-way) to the sparse core.
+	CouplingAuto CouplingMode = iota
+	// CouplingDense pins the golden-reference dense matrix at any size.
+	CouplingDense
+	// CouplingSparse builds the sparse core immediately.
+	CouplingSparse
+)
+
+// sparseCrossover is the membership size where CouplingAuto switches to
+// the sparse core. Below it the dense matrix is both faster (no graph
+// bookkeeping) and byte-stable for the existing fingerprint tests; it
+// sits above the 500-node legacy membership benchmarks so their dense
+// measurements stay comparable, and below the 1k rung of
+// BenchmarkNetworkScale so every rung of the scaling curve exercises the
+// sparse path.
+const sparseCrossover = 768
+
+// sparseDMin clamps the distance used by the power bound so a node
+// placed (pathologically) on top of the AP still gets a finite bound.
+const sparseDMin = 0.05 // meters
+
+// inEdge is one source coupling into a victim: the source, the pair's
+// linearized coupling factor, and the slot of the mirror outEdge in the
+// source's out list (so either side can unhook the pair in O(1)).
+type inEdge struct {
+	src     *Node
+	w       float64
+	srcSlot int
+}
+
+// outEdge is the mirror half: the victim and the slot of the inEdge in
+// its in list.
+type outEdge struct {
+	dst     *Node
+	dstSlot int
+}
+
+// spNode is a node's sparse-coupling state, embedded by value in Node
+// and zero while the network runs dense.
+type spNode struct {
+	in  []inEdge
+	out []outEdge
+	// tbl is the node's TMA gain table at its current angle of arrival;
+	// avec[k] is the suppression a victim listening on harmonic slot k
+	// sees from this node (tmaSuppressionDB of own vs leaked amplitude),
+	// the per-occupant vector behind the indexed bestHostChannel.
+	tbl  []complex128
+	avec []float64
+	// pBound is the conservative ceiling on the node's received power at
+	// the AP (watts) — motion-invariant until the node itself moves.
+	pBound float64
+	// noise is the node's receiver noise floor (bandwidth-dependent).
+	noise float64
+	// power is the node's actual received power at the AP from the last
+	// link evaluation; interf the last interference re-sum.
+	power  float64
+	interf float64
+	eval   core.Evaluation
+	rep    Report
+	// grid and channel-registry bookkeeping (swap-remove slots).
+	cell     int
+	cellSlot int
+	cs       *chanState
+	chanHarm int
+	chanSlot int
+	// dirty flags: queued dedups membership in the dirty list.
+	sumDirty  bool
+	evalStale bool
+	queued    bool
+}
+
+// chanState is the registry entry for one channel center: its occupants
+// bucketed by harmonic slot, and the per-slot minimum of the occupants'
+// avec vectors (minA) that makes bestHostChannel O(#channels) per call.
+type chanState struct {
+	center   float64
+	maxWidth float64 // never shrunk: conservative for the class screen
+	count    int
+	occ      [][]*Node
+	minA     []float64
+	// minADirty marks minA for lazy rebuild after an occupant left
+	// (removals can raise a minimum; additions only lower it).
+	minADirty bool
+	listIdx   int
+}
+
+// sparseState is the per-network sparse core. All scratch slices are
+// retained across events so a churning run stays allocation-flat once
+// warm.
+type sparseState struct {
+	cut      float64 // linear edge-admission cutoff (FromDB(CouplingCutoffDB))
+	pC       float64 // pBound numerator: power ≤ pC / max(d,dMin)²
+	minNoise float64 // conservative (never-raised) min noise floor
+	maxM     int
+
+	// Uniform grid over the room for audible-source disc queries.
+	nx, ny       int
+	cellW, cellH float64
+	cells        [][]*Node
+
+	chans    map[float64]*chanState
+	chanList []*chanState
+
+	dirty    []*Node
+	envEpoch uint64
+
+	// scratch, reused across calls
+	evalScratch []*Node
+	bvec        []float64
+	tblScratch  []complex128
+}
+
+// enterSparse builds the sparse core for the current membership and
+// releases the dense cache. One-way in auto mode: the graph stays for
+// the life of the network (or until SetCouplingMode(CouplingDense)).
+func (nw *Network) enterSparse() {
+	s := newSparseState(nw)
+	nw.sparse = s
+	for _, n := range nw.Nodes {
+		n.sp = spNode{} // drop any state from an earlier sparse epoch
+		s.registerNode(nw, n)
+	}
+	// Victim-side discovery visits every directed pair exactly once.
+	for _, n := range nw.Nodes {
+		s.discoverIn(nw, n)
+		s.markEvalStale(n)
+	}
+	nw.coupling = nil
+	nw.couplingTables = nil
+	nw.couplingDirty = false
+}
+
+func newSparseState(nw *Network) *sparseState {
+	room := nw.Env.Room
+	nx, ny := 128, 128
+	s := &sparseState{
+		cut:      units.FromDB(nw.CouplingCutoffDB),
+		pC:       nw.sparsePowerBoundConst(),
+		minNoise: math.Inf(1),
+		maxM:     nw.SDM.MaxHarmonic(),
+		nx:       nx,
+		ny:       ny,
+		cellW:    room.Width / float64(nx),
+		cellH:    room.Height / float64(ny),
+		cells:    make([][]*Node, nx*ny),
+		chans:    make(map[float64]*chanState),
+		envEpoch: nw.Env.Epoch(),
+	}
+	return s
+}
+
+// sparsePowerBoundConst derives the numerator of the conservative
+// received-power bound pBound(d) = pC / max(d, dMin)². For any node at
+// planar distance d from the AP, its peak received power satisfies
+//
+//	peak² ≤ [amp · (sel+leak) · Gt · Gr · (λ/4π) · M]² / d²
+//
+// because every propagation path is at least d long, the elevation
+// factor is ≤1, blockage only subtracts, and the image-method path set
+// contributes at most M = 1 + Σr + (Σr)² times the LoS spreading term
+// (r summed over every wall's field reflection coefficient: ≤Σr across
+// single bounces, ≤(Σr)² across ordered double bounces). Gt and Gr are
+// the pattern maxima of the node beams and the AP antenna, found by
+// dense angular sampling with headroom for the sampling grid. The bound
+// deliberately over-estimates by tens of dB — it only has to be sound
+// and motion-invariant, since it gates which pairs are *stored*, not
+// what they contribute.
+func (nw *Network) sparsePowerBoundConst() float64 {
+	const samples = 4096
+	gt, gr := 0.0, 0.0
+	for k := 0; k < samples; k++ {
+		th := 2 * math.Pi * float64(k) / samples
+		if a := cmplx.Abs(nw.NodeBeams.Beam0.FieldGain(th)); a > gt {
+			gt = a
+		}
+		if a := cmplx.Abs(nw.NodeBeams.Beam1.FieldGain(th)); a > gt {
+			gt = a
+		}
+		if a := cmplx.Abs(nw.APPattern.FieldGain(th)); a > gr {
+			gr = a
+		}
+	}
+	// Headroom for the angular sampling grid (the patterns are smooth,
+	// low-order shapes; 5% in field ≈ 0.4 dB in power).
+	gt *= 1.05
+	gr *= 1.05
+	refl := 0.0
+	room := nw.Env.Room
+	for _, w := range room.Walls {
+		refl += math.Pow(10, -w.ReflectionLossDB/20)
+	}
+	for _, w := range room.Interior {
+		refl += math.Pow(10, -w.ReflectionLossDB/20)
+	}
+	margin := 1 + refl + refl*refl
+	amp := math.Sqrt(units.FromDBm(nw.LinkCfg.TxPowerDBm)) *
+		math.Pow(10, -nw.LinkCfg.ImplementationLossDB/20)
+	// Switch field gains: selected path plus the leaked port, both
+	// arriving coherently in the worst case. Joining nodes all get links
+	// through core.NewLink, which installs the ADRF5020 model — read the
+	// figures off a member when one exists so a customized switch still
+	// bounds correctly.
+	sw := rf.NewADRF5020()
+	if len(nw.Nodes) > 0 && nw.Nodes[0].Link != nil {
+		sw = nw.Nodes[0].Link.Switch
+	}
+	sel, leak := sw.SelectedGain(), sw.LeakageGain()
+	lam := units.Wavelength(nw.Env.FreqHz)
+	field := amp * (sel + leak) * gt * gr * (lam / (4 * math.Pi)) * margin
+	return field * field * 1.1 // final safety factor on the power bound
+}
+
+// registerNode installs a node into the grid, the channel registry and
+// the noise tracking. It does not discover edges.
+func (s *sparseState) registerNode(nw *Network, n *Node) {
+	s.setGeometry(nw, n)
+	n.sp.noise = n.Link.Cfg.NoisePowerW()
+	if n.sp.noise < s.minNoise {
+		s.minNoise = n.sp.noise
+	}
+	s.gridInsert(n)
+	s.chanRegister(n)
+}
+
+// setGeometry refreshes everything derived from the node's pose: its TMA
+// gain table, its avec suppression vector, and its power bound.
+func (s *sparseState) setGeometry(nw *Network, n *Node) {
+	n.sp.tbl = nw.SDM.GainTable(nw.AP.AngleTo(n.Pose.Pos))
+	if cap(n.sp.avec) < len(n.sp.tbl) {
+		n.sp.avec = make([]float64, len(n.sp.tbl))
+	}
+	n.sp.avec = n.sp.avec[:len(n.sp.tbl)]
+	own := cmplx.Abs(n.sp.tbl[n.SDMHarmonic+s.maxM])
+	for k := range n.sp.avec {
+		n.sp.avec[k] = tmaSuppressionDB(own, cmplx.Abs(n.sp.tbl[k]))
+	}
+	d := n.Pose.Pos.Dist(nw.AP.Pos)
+	if d < sparseDMin {
+		d = sparseDMin
+	}
+	n.sp.pBound = s.pC / (d * d)
+}
+
+// --- grid ---
+
+func (s *sparseState) cellIndex(p channel.Vec2) int {
+	ix := int(math.Floor(p.X / s.cellW))
+	iy := int(math.Floor(p.Y / s.cellH))
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= s.nx {
+		ix = s.nx - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= s.ny {
+		iy = s.ny - 1
+	}
+	return iy*s.nx + ix
+}
+
+func (s *sparseState) gridInsert(n *Node) {
+	c := s.cellIndex(n.Pose.Pos)
+	n.sp.cell = c
+	n.sp.cellSlot = len(s.cells[c])
+	s.cells[c] = append(s.cells[c], n)
+}
+
+func (s *sparseState) gridRemove(n *Node) {
+	c, sl := n.sp.cell, n.sp.cellSlot
+	lst := s.cells[c]
+	last := len(lst) - 1
+	if sl != last {
+		lst[sl] = lst[last]
+		lst[sl].sp.cellSlot = sl
+	}
+	lst[last] = nil
+	s.cells[c] = lst[:last]
+}
+
+// forEachInDisc visits every node whose grid cell intersects the disc of
+// radius r around p. Cells are screened by rectangle-to-point distance;
+// individual nodes inside a surviving cell are NOT distance-filtered —
+// callers re-check admission exactly, so the disc only has to be a
+// superset.
+func (s *sparseState) forEachInDisc(p channel.Vec2, r float64, fn func(*Node)) {
+	ix0 := int(math.Floor((p.X - r) / s.cellW))
+	ix1 := int(math.Floor((p.X + r) / s.cellW))
+	iy0 := int(math.Floor((p.Y - r) / s.cellH))
+	iy1 := int(math.Floor((p.Y + r) / s.cellH))
+	if ix0 < 0 {
+		ix0 = 0
+	}
+	if iy0 < 0 {
+		iy0 = 0
+	}
+	if ix1 >= s.nx {
+		ix1 = s.nx - 1
+	}
+	if iy1 >= s.ny {
+		iy1 = s.ny - 1
+	}
+	r2 := r * r
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			// Nearest point of the cell rectangle to p.
+			dx := 0.0
+			if x0 := float64(ix) * s.cellW; p.X < x0 {
+				dx = x0 - p.X
+			} else if x1 := float64(ix+1) * s.cellW; p.X > x1 {
+				dx = p.X - x1
+			}
+			dy := 0.0
+			if y0 := float64(iy) * s.cellH; p.Y < y0 {
+				dy = y0 - p.Y
+			} else if y1 := float64(iy+1) * s.cellH; p.Y > y1 {
+				dy = p.Y - y1
+			}
+			if dx*dx+dy*dy > r2 {
+				continue
+			}
+			for _, n := range s.cells[iy*s.nx+ix] {
+				fn(n)
+			}
+		}
+	}
+}
+
+// --- channel registry ---
+
+func (s *sparseState) chanRegister(n *Node) {
+	c := n.Assignment.CenterHz
+	cs := s.chans[c]
+	if cs == nil {
+		slots := 2*s.maxM + 1
+		cs = &chanState{
+			center:  c,
+			occ:     make([][]*Node, slots),
+			minA:    make([]float64, slots),
+			listIdx: len(s.chanList),
+		}
+		for k := range cs.minA {
+			cs.minA[k] = math.Inf(1)
+		}
+		s.chans[c] = cs
+		s.chanList = append(s.chanList, cs)
+	}
+	if n.Assignment.WidthHz > cs.maxWidth {
+		cs.maxWidth = n.Assignment.WidthHz
+	}
+	h := n.SDMHarmonic + s.maxM
+	n.sp.cs = cs
+	n.sp.chanHarm = h
+	n.sp.chanSlot = len(cs.occ[h])
+	cs.occ[h] = append(cs.occ[h], n)
+	cs.count++
+	for k := range cs.minA {
+		if n.sp.avec[k] < cs.minA[k] {
+			cs.minA[k] = n.sp.avec[k]
+		}
+	}
+}
+
+func (s *sparseState) chanUnregister(n *Node) {
+	cs := n.sp.cs
+	if cs == nil {
+		return
+	}
+	h, sl := n.sp.chanHarm, n.sp.chanSlot
+	lst := cs.occ[h]
+	last := len(lst) - 1
+	if sl != last {
+		lst[sl] = lst[last]
+		lst[sl].sp.chanSlot = sl
+	}
+	lst[last] = nil
+	cs.occ[h] = lst[:last]
+	cs.count--
+	cs.minADirty = true
+	n.sp.cs = nil
+	if cs.count == 0 {
+		li := cs.listIdx
+		lastC := len(s.chanList) - 1
+		if li != lastC {
+			s.chanList[li] = s.chanList[lastC]
+			s.chanList[li].listIdx = li
+		}
+		s.chanList[lastC] = nil
+		s.chanList = s.chanList[:lastC]
+		delete(s.chans, cs.center)
+	}
+}
+
+func (s *sparseState) rebuildMinA(cs *chanState) {
+	for k := range cs.minA {
+		cs.minA[k] = math.Inf(1)
+	}
+	for _, lst := range cs.occ {
+		for _, v := range lst {
+			for k := range cs.minA {
+				if v.sp.avec[k] < cs.minA[k] {
+					cs.minA[k] = v.sp.avec[k]
+				}
+			}
+		}
+	}
+	cs.minADirty = false
+}
+
+// classBoundLinear is the conservative linear ceiling on the frequency
+// coupling factor between a channel at (c0,w0) and ANY occupant of the
+// registry channel cs: using cs.maxWidth in both the overlap and the
+// adjacency test can only move the classification toward the louder
+// class, so the returned bound dominates freqCouplingDB's per-pair
+// answer for every actual occupant width ≤ maxWidth.
+func (nw *Network) classBoundLinear(c0, w0 float64, cs *chanState) float64 {
+	sep := math.Abs(c0 - cs.center)
+	half := (w0 + cs.maxWidth) / 2
+	if sep < half {
+		return 1 // could overlap: full collision is possible
+	}
+	if sep-half < math.Min(w0, cs.maxWidth) {
+		return units.FromDB(-nw.ACLRAdjacentDB)
+	}
+	return units.FromDB(-nw.ACLRFarDB)
+}
+
+// --- edges ---
+
+func (s *sparseState) markDirty(n *Node) {
+	n.sp.sumDirty = true
+	if !n.sp.queued {
+		n.sp.queued = true
+		s.dirty = append(s.dirty, n)
+	}
+}
+
+func (s *sparseState) markEvalStale(n *Node) {
+	n.sp.evalStale = true
+	s.markDirty(n)
+}
+
+func (s *sparseState) addEdge(src, dst *Node, w float64) {
+	si := len(src.sp.out)
+	di := len(dst.sp.in)
+	src.sp.out = append(src.sp.out, outEdge{dst: dst, dstSlot: di})
+	dst.sp.in = append(dst.sp.in, inEdge{src: src, w: w, srcSlot: si})
+	s.markDirty(dst)
+}
+
+// removeOutEdgeAt unhooks src.out[si] and its mirror in-edge, fixing the
+// slot pointers of whichever edges the swap-removes displaced.
+func (s *sparseState) removeOutEdgeAt(src *Node, si int) {
+	e := src.sp.out[si]
+	dst, di := e.dst, e.dstSlot
+	last := len(dst.sp.in) - 1
+	if di != last {
+		moved := dst.sp.in[last]
+		dst.sp.in[di] = moved
+		moved.src.sp.out[moved.srcSlot].dstSlot = di
+	}
+	dst.sp.in = dst.sp.in[:last]
+	lastO := len(src.sp.out) - 1
+	if si != lastO {
+		movedO := src.sp.out[lastO]
+		src.sp.out[si] = movedO
+		movedO.dst.sp.in[movedO.dstSlot].srcSlot = si
+	}
+	src.sp.out = src.sp.out[:lastO]
+	s.markDirty(dst)
+}
+
+// removeInEdgeAt unhooks dst.in[di] and its mirror out-edge.
+func (s *sparseState) removeInEdgeAt(dst *Node, di int) {
+	e := dst.sp.in[di]
+	src, si := e.src, e.srcSlot
+	lastO := len(src.sp.out) - 1
+	if si != lastO {
+		movedO := src.sp.out[lastO]
+		src.sp.out[si] = movedO
+		movedO.dst.sp.in[movedO.dstSlot].srcSlot = si
+	}
+	src.sp.out = src.sp.out[:lastO]
+	last := len(dst.sp.in) - 1
+	if di != last {
+		moved := dst.sp.in[last]
+		dst.sp.in[di] = moved
+		moved.src.sp.out[moved.srcSlot].dstSlot = di
+	}
+	dst.sp.in = dst.sp.in[:last]
+	s.markDirty(dst)
+}
+
+// clearEdges drops every edge touching n, marking the affected victims
+// dirty. Removing from the back keeps every removal swap-free.
+func (s *sparseState) clearEdges(n *Node) {
+	for len(n.sp.out) > 0 {
+		s.removeOutEdgeAt(n, len(n.sp.out)-1)
+	}
+	for len(n.sp.in) > 0 {
+		s.removeInEdgeAt(n, len(n.sp.in)-1)
+	}
+}
+
+// discoverIn finds every source audible to victim v: a grid disc query
+// around the AP bounds the candidate set (anything outside has
+// pBound < cut·noise even at w=1), then each candidate is admitted
+// exactly through the shared pair kernel.
+func (s *sparseState) discoverIn(nw *Network, v *Node) {
+	threshold := s.cut * v.sp.noise
+	r := math.Sqrt(s.pC / threshold)
+	if r < sparseDMin {
+		r = sparseDMin
+	}
+	s.forEachInDisc(nw.AP.Pos, r, func(j *Node) {
+		if j == v {
+			return
+		}
+		if j.sp.pBound < threshold {
+			return
+		}
+		w := nw.pairCouplingLinear(v, j, j.sp.tbl)
+		if j.sp.pBound*w >= threshold {
+			s.addEdge(j, v, w)
+		}
+	})
+}
+
+// discoverOut finds every victim source u can reach: the channel
+// registry enumerates all members bucketed by channel, each channel
+// screened first by the conservative ACLR class bound against the
+// network's lowest noise floor, then each surviving occupant admitted
+// exactly. An inaudible source (pBound below even the w=1 threshold)
+// skips the walk entirely — the common case away from the AP.
+func (s *sparseState) discoverOut(nw *Network, u *Node) {
+	if u.sp.pBound < s.cut*s.minNoise {
+		return
+	}
+	for _, cs := range s.chanList {
+		wMax := nw.classBoundLinear(u.Assignment.CenterHz, u.Assignment.WidthHz, cs)
+		if u.sp.pBound*wMax < s.cut*s.minNoise {
+			continue
+		}
+		for _, lst := range cs.occ {
+			for _, v := range lst {
+				if v == u {
+					continue
+				}
+				w := nw.pairCouplingLinear(v, u, u.sp.tbl)
+				if u.sp.pBound*w >= s.cut*v.sp.noise {
+					s.addEdge(u, v, w)
+				}
+			}
+		}
+	}
+}
+
+// --- membership / assignment / motion hooks (called via coupling.go) ---
+
+func (s *sparseState) addNode(nw *Network, n *Node) {
+	s.registerNode(nw, n)
+	s.discoverIn(nw, n)
+	s.discoverOut(nw, n)
+	s.markEvalStale(n)
+}
+
+func (s *sparseState) removeNode(nw *Network, n *Node) {
+	s.clearEdges(n)
+	s.gridRemove(n)
+	s.chanUnregister(n)
+	n.sp = spNode{}
+}
+
+// updateNode handles an assignment or SDM-role change at a fixed pose
+// (promotion, renew re-sync, reboot rejoin): re-register the channel,
+// refresh the noise floor (the bandwidth may have changed) and the avec
+// vector (a re-run handshake can land on a different harmonic), and
+// rebuild the node's edges both ways.
+func (s *sparseState) updateNode(nw *Network, n *Node) {
+	s.chanUnregister(n)
+	s.setGeometry(nw, n)
+	n.sp.noise = n.Link.Cfg.NoisePowerW()
+	if n.sp.noise < s.minNoise {
+		s.minNoise = n.sp.noise
+	}
+	s.chanRegister(n)
+	s.clearEdges(n)
+	s.discoverIn(nw, n)
+	s.discoverOut(nw, n)
+	s.markEvalStale(n)
+}
+
+// moveNode handles a pose change: new gain table, avec and power bound,
+// new grid cell, possibly a new harmonic bucket, and a full edge rebuild
+// for the moved node (everyone else's edges are pose-independent).
+func (s *sparseState) moveNode(nw *Network, n *Node) {
+	s.gridRemove(n)
+	s.chanUnregister(n)
+	s.setGeometry(nw, n)
+	s.gridInsert(n)
+	s.chanRegister(n)
+	s.clearEdges(n)
+	s.discoverIn(nw, n)
+	s.discoverOut(nw, n)
+	s.markEvalStale(n)
+}
+
+// powerChanged handles a transmit-state flip with no assignment change
+// (crash): the node's victims must re-sum without it, and its own report
+// flips to the down sentinel. Edges stay — a reboot restores them as-is.
+func (s *sparseState) powerChanged(nw *Network, n *Node) {
+	for i := range n.sp.out {
+		s.markDirty(n.sp.out[i].dst)
+	}
+	s.markDirty(n)
+}
+
+// --- evaluation ---
+
+// settle brings every dirty node's cached report up to date: pass 1
+// re-runs the link evaluations (the ray-tracing hot path) for nodes
+// whose geometry or environment changed, pass 2 re-sums interference
+// rows and rebuilds reports. Both passes fan out over the worker pool;
+// each node writes only its own state, so results are order-independent.
+// Blocker motion (detected via the environment epoch) stales everything —
+// the same O(n) an environment step costs the dense path; with no
+// blockers an event settles in O(dirty degree).
+func (s *sparseState) settle(nw *Network) {
+	if ep := nw.Env.Epoch(); ep != s.envEpoch {
+		s.envEpoch = ep
+		s.dirty = s.dirty[:0]
+		for _, n := range nw.Nodes {
+			n.sp.evalStale = true
+			n.sp.sumDirty = true
+			n.sp.queued = true
+			s.dirty = append(s.dirty, n)
+		}
+	}
+	if len(s.dirty) == 0 {
+		return
+	}
+	work := s.evalScratch[:0]
+	for _, n := range s.dirty {
+		if nw.nodeIdx[n.ID] != n {
+			continue // left (or was replaced) while queued
+		}
+		if n.sp.evalStale {
+			work = append(work, n)
+		}
+	}
+	nw.forEachNode(len(work), func(i int) {
+		n := work[i]
+		n.sp.evalStale = false
+		if n.Down {
+			n.sp.power = 0
+			return
+		}
+		n.sp.eval = n.Link.EvaluateWithClass()
+		g := math.Max(cmplx.Abs(n.sp.eval.G0), cmplx.Abs(n.sp.eval.G1))
+		n.sp.power = g * g
+	})
+	s.evalScratch = work[:0]
+	dirty := s.dirty
+	nw.forEachNode(len(dirty), func(i int) {
+		n := dirty[i]
+		if nw.nodeIdx[n.ID] != n {
+			return
+		}
+		n.sp.queued = false
+		if !n.sp.sumDirty {
+			return
+		}
+		n.sp.sumDirty = false
+		s.finishNode(n)
+	})
+	s.dirty = dirty[:0]
+}
+
+// finishNode re-sums one victim's interference row from scratch and
+// rebuilds its report. Always a fresh sum — incremental ± maintenance
+// would accumulate rounding drift past the equivalence tolerance.
+func (s *sparseState) finishNode(n *Node) {
+	if n.Down {
+		n.sp.interf = 0
+		n.sp.rep = Report{
+			ID: n.ID, SNRdB: math.Inf(-1), SINRdB: math.Inf(-1),
+			BER: 1, PathClass: "down", SDM: n.SDMShared,
+		}
+		return
+	}
+	interf := 0.0
+	for i := range n.sp.in {
+		e := &n.sp.in[i]
+		if e.src.Down {
+			continue // matches the dense path's powers[j]=0 for crashed nodes
+		}
+		interf += e.src.sp.power * e.w
+	}
+	n.sp.interf = interf
+	noise := n.sp.eval.NoisePowerW
+	p := n.sp.power
+	sinr := units.DB(p / (noise + interf))
+	ev := n.sp.eval
+	ev.SNRWithOTAM = sinr
+	n.sp.rep = Report{
+		ID:        n.ID,
+		SNRdB:     units.DB(p / noise),
+		SINRdB:    sinr,
+		BER:       ev.BERWithOTAM(),
+		PathClass: ev.PathClass,
+		SDM:       n.SDMShared,
+	}
+}
+
+// evaluate is EvaluateSINR's sparse backend: settle, then assemble the
+// report slice in membership order (same layout as the dense path).
+func (s *sparseState) evaluate(nw *Network) []Report {
+	s.settle(nw)
+	out := make([]Report, len(nw.Nodes))
+	for i, n := range nw.Nodes {
+		out[i] = n.sp.rep
+	}
+	return out
+}
+
+// --- indexed bestHostChannel ---
+
+// bestHostChannel is the sparse-mode replacement for the dense
+// all-members scan: per channel, the worst-case suppression against a
+// newcomer at harmonic h and angle th is
+//
+//	min over occupants v of min(a_v, b_v)
+//	  = min( min_v a_v , min_v b_v )
+//	  = min( minA[h] , min over occupied slots k of bvec[k] )
+//
+// with a_v the occupant-side leak (precomputed avec vectors, folded into
+// the channel's minA) and b_v the newcomer-side leak (one bvec per
+// call). Float min is exact and order-free, and the final selection uses
+// the same strict total order on (suppression, occupants, center) as the
+// dense scan, so the result is bit-identical. The excluded node's
+// channel (a reboot or post-restart rejoin re-running the handshake)
+// falls back to a direct occupant scan.
+func (s *sparseState) bestHostChannel(nw *Network, h int, th float64, exclude uint32) (float64, bool) {
+	if len(s.chanList) == 0 {
+		return 0, false
+	}
+	tbl := nw.SDM.GainTable(th)
+	own := cmplx.Abs(tbl[h+s.maxM])
+	if cap(s.bvec) < len(tbl) {
+		s.bvec = make([]float64, len(tbl))
+	}
+	bvec := s.bvec[:len(tbl)]
+	for k := range bvec {
+		bvec[k] = tmaSuppressionDB(own, cmplx.Abs(tbl[k]))
+	}
+	exNode := nw.nodeIdx[exclude]
+	bestCenter, found := 0.0, false
+	bestSupp, bestOcc := 0.0, 0
+	for _, cs := range s.chanList {
+		occ := cs.count
+		var supp float64
+		if exNode != nil && exNode.sp.cs == cs {
+			occ--
+			if occ == 0 {
+				continue // the dense scan never sees an empty channel
+			}
+			supp = math.Inf(1)
+			for _, lst := range cs.occ {
+				for _, v := range lst {
+					if v == exNode {
+						continue
+					}
+					m := math.Min(v.sp.avec[h+s.maxM], bvec[v.sp.chanHarm])
+					if m < supp {
+						supp = m
+					}
+				}
+			}
+		} else {
+			if cs.minADirty {
+				s.rebuildMinA(cs)
+			}
+			supp = cs.minA[h+s.maxM]
+			for k, lst := range cs.occ {
+				if len(lst) > 0 && bvec[k] < supp {
+					supp = bvec[k]
+				}
+			}
+		}
+		better := !found ||
+			supp > bestSupp ||
+			(supp == bestSupp && occ < bestOcc) ||
+			(supp == bestSupp && occ == bestOcc && cs.center < bestCenter)
+		if better {
+			bestCenter, bestSupp, bestOcc, found = cs.center, supp, occ, true
+		}
+	}
+	return bestCenter, found
+}

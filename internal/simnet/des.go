@@ -221,7 +221,6 @@ type runState struct {
 	order   []uint32 // IDs in first-seen order: RunStats.PerNode layout
 
 	reports []Report        // cached EvaluateSINR output, parallel to nw.Nodes
-	repIdx  map[uint32]int  // node ID -> index into reports
 	pending map[uint32]bool // IDs with a handshake done, activation queued
 }
 
@@ -236,26 +235,37 @@ func (rs *runState) handle(id uint32) *nodeHandle {
 	return h
 }
 
-// reindex rebuilds the ID → report-slot map after a membership change;
-// between changes the node order is stable so refreshes reuse it.
-func (rs *runState) reindex() {
-	rs.repIdx = make(map[uint32]int, len(rs.nw.Nodes))
-	for i, n := range rs.nw.Nodes {
-		rs.repIdx[n.ID] = i
-	}
-}
-
 // refresh re-evaluates every node's SINR report (after environment
 // steps and control-plane or membership events that change the picture).
-func (rs *runState) refresh() { rs.reports = rs.nw.EvaluateSINR() }
+// On the dense path that is a full EvaluateSINR; with the sparse core
+// live it settles exactly the dirty set — per-node reports are cached on
+// the nodes, so an O(degree) membership event never pays an O(n) report
+// slice rebuild.
+func (rs *runState) refresh() {
+	if s := rs.nw.sparse; s != nil {
+		s.settle(rs.nw)
+		return
+	}
+	rs.reports = rs.nw.EvaluateSINR()
+}
+
+// reportOf returns node n's current report: the node-cached one in
+// sparse mode, the slot in the parallel report slice in dense mode.
+func (rs *runState) reportOf(n *Node) *Report {
+	if rs.nw.sparse != nil {
+		return &n.sp.rep
+	}
+	return &rs.reports[n.idx]
+}
 
 // observe samples the current reports into per-node stats.
 func (rs *runState) observe() {
-	for i, r := range rs.reports {
-		if rs.nw.Nodes[i].Down {
+	for _, n := range rs.nw.Nodes {
+		if n.Down {
 			continue // a dead radio has no SINR to sample
 		}
-		st := &rs.handles[rs.nw.Nodes[i].ID].st
+		r := rs.reportOf(n)
+		st := &rs.handles[n.ID].st
 		st.sinrAccum += r.SINRdB
 		st.SINRSamples++
 		if r.SINRdB < st.MinSINRdB {
@@ -313,7 +323,11 @@ func (rs *runState) scheduleFrames(n *Node) {
 						st.airtime += airtime
 						st.delayAccum += queue + airtime
 						st.delayed++
-						ber := rs.reports[rs.repIdx[n.ID]].BER
+						// reportOf is O(1) either way: node-cached report
+						// in sparse mode, the idx-maintained slot of the
+						// parallel slice in dense mode — no ID→index map
+						// rebuild per churn event.
+						ber := rs.reportOf(n).BER
 						pSuccess := math.Pow(1-ber, bits)
 						if rs.nw.rng.Float64() < pSuccess {
 							st.BitsDelivered += bits
@@ -377,7 +391,6 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 	for _, n := range nw.Nodes {
 		rs.handle(n.ID).present = true
 	}
-	rs.reindex()
 	rs.refresh()
 	rs.observe()
 
@@ -388,11 +401,11 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 		// In-run rate adaptation: the reports hold each node's SINR in
 		// its configured channel bandwidth, exactly what the ladder walk
 		// wants. Rate 0 = outage until a later step clears it.
-		for i, n := range nw.Nodes {
+		for _, n := range nw.Nodes {
 			if n.Down {
 				continue
 			}
-			n.RateBps = nw.cappedRate(n, core.RateForSNR(rs.reports[i].SINRdB, n.Link.Cfg.BandwidthHz, 1e-6))
+			n.RateBps = nw.cappedRate(n, core.RateForSNR(rs.reportOf(n).SINRdB, n.Link.Cfg.BandwidthHz, 1e-6))
 		}
 		rs.observe()
 		sim.After(envStep, envTick)
@@ -412,6 +425,7 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 				sim.At(fe.At, func() {
 					if n := nw.nodeByID(fe.NodeID); n != nil && !n.Down {
 						n.Down = true
+						nw.couplingPowerChanged(n)
 						ctl.Crashes++
 						rs.refresh()
 					}

@@ -98,7 +98,7 @@ func BenchmarkMembershipCoupling(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				nw.Nodes = nw.Nodes[:size-1]
-				nw.couplingRemoveNode(size - 1)
+				nw.couplingRemoveNode(last, size-1)
 				nw.Nodes = append(nw.Nodes, last)
 				nw.couplingAddNode()
 			}

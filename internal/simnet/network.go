@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/cmplx"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +51,13 @@ type Node struct {
 	// seq numbers the node's control-plane requests so the AP can
 	// detect retransmissions and the node can discard stale replies.
 	seq uint32
+	// idx is the node's current position in Network.Nodes, maintained on
+	// every membership change so lookups and the incremental coupling
+	// paths never scan the slice. Stale the instant the node leaves.
+	idx int
+	// sp is the node's sparse-coupling state (see coupling_sparse.go).
+	// Zero-valued and untouched while the network runs the dense matrix.
+	sp spNode
 }
 
 // Network is the full mmX deployment.
@@ -106,6 +114,20 @@ type Network struct {
 	coupling       []float64
 	couplingTables [][]complex128
 	couplingDirty  bool
+	// nodeIdx maps live node IDs to their membership entries, maintained
+	// on every membership change, so ID lookups are O(1) at any scale.
+	nodeIdx map[uint32]*Node
+	// couplingMode selects dense vs sparse interference bookkeeping;
+	// CouplingAuto switches to sparse when membership first reaches
+	// sparseCrossover (see coupling_sparse.go).
+	couplingMode CouplingMode
+	// CouplingCutoffDB offsets the sparse path's edge-admission threshold
+	// relative to each victim's noise floor: a pair whose worst-case
+	// coupled power is provably below noise·10^(CouplingCutoffDB/10) is
+	// never stored. 0 (the default) cuts exactly at the noise floor.
+	CouplingCutoffDB float64
+	// sparse is the live sparse coupling state, nil while dense.
+	sparse *sparseState
 	// run points at the live engine state while Run executes; membership
 	// changes issued mid-run route through it onto the event heap.
 	run *runState
@@ -137,6 +159,7 @@ func NewWithBand(env *channel.Environment, apPose channel.Pose, seed uint64, ban
 		Control:        DefaultControlConfig(),
 		ctrlRNG:        stats.NewRNG(seed ^ 0xC0117A01),
 		rng:            stats.NewRNG(seed),
+		nodeIdx:        make(map[uint32]*Node),
 	}
 	nw.Controller.LeaseTTL = nw.Control.LeaseTTLS
 	return nw
@@ -145,16 +168,54 @@ func NewWithBand(env *channel.Environment, apPose channel.Pose, seed uint64, ban
 // ErrJoinFailed reports a node the AP could not admit.
 var ErrJoinFailed = errors.New("simnet: join failed")
 
+// SetCouplingMode selects the interference bookkeeping strategy.
+// CouplingAuto (the default) runs the dense matrix and switches to the
+// sparse core when membership first reaches the crossover size;
+// CouplingDense pins the golden-reference dense matrix (tearing down any
+// live sparse state); CouplingSparse builds the sparse core immediately
+// regardless of size.
+func (nw *Network) SetCouplingMode(m CouplingMode) {
+	nw.couplingMode = m
+	switch m {
+	case CouplingDense:
+		if nw.sparse != nil {
+			nw.sparse = nil
+			nw.couplingDirty = true
+		}
+	case CouplingSparse:
+		if nw.sparse == nil {
+			nw.enterSparse()
+		}
+	}
+}
+
 // nodeByID returns the live membership entry for id, or nil. Membership
 // is looked up by ID at event time — never by index captured earlier —
 // so churn can reorder Nodes freely.
 func (nw *Network) nodeByID(id uint32) *Node {
-	for _, n := range nw.Nodes {
-		if n.ID == id {
-			return n
-		}
+	return nw.nodeIdx[id]
+}
+
+// registerNode appends a node to the membership list and indexes it by ID.
+// Every admission path (pre-run Join and in-run activation) goes through
+// here so Node.idx and nodeIdx never drift from Nodes.
+func (nw *Network) registerNode(n *Node) {
+	n.idx = len(nw.Nodes)
+	nw.Nodes = append(nw.Nodes, n)
+	nw.nodeIdx[n.ID] = n
+}
+
+// unregisterNodeAt removes the node at index k. The shift-remove keeps
+// the membership order stable (renewTick iteration order and the dense
+// fingerprints depend on it); the trailing idx refresh is plain field
+// writes, far cheaper than rebuilding a map.
+func (nw *Network) unregisterNodeAt(k int) {
+	n := nw.Nodes[k]
+	nw.Nodes = append(nw.Nodes[:k], nw.Nodes[k+1:]...)
+	delete(nw.nodeIdx, n.ID)
+	for i := k; i < len(nw.Nodes); i++ {
+		nw.Nodes[i].idx = i
 	}
-	return nil
 }
 
 // Join runs the initialization protocol for one node (the WiFi/Bluetooth
@@ -188,7 +249,7 @@ func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic
 	n.Link = core.NewLink(nw.Env, pose, nw.AP)
 	n.Link.Beams = nw.NodeBeams
 	nw.applyAssignment(n)
-	nw.Nodes = append(nw.Nodes, n)
+	nw.registerNode(n)
 	nw.couplingAddNode()
 	return n, nil
 }
@@ -253,6 +314,9 @@ func (nw *Network) pairSuppressionDB(mi int, thI float64, mj int, thJ float64) f
 // rejoin) doesn't count its own stale entry as an occupant. ok is false
 // when there are no channels yet.
 func (nw *Network) bestHostChannel(h int, th float64, exclude uint32) (float64, bool) {
+	if nw.sparse != nil {
+		return nw.sparse.bestHostChannel(nw, h, th, exclude)
+	}
 	type chanInfo struct {
 		worstSupp float64
 		occupants int
@@ -304,18 +368,11 @@ func (nw *Network) Leave(id uint32) {
 		rs.leaveNow(id)
 		return
 	}
-	var leaver *Node
-	removedAt := -1
-	for i, n := range nw.Nodes {
-		if n.ID == id {
-			leaver = n
-			removedAt = i
-			nw.Nodes = append(nw.Nodes[:i], nw.Nodes[i+1:]...)
-			break
-		}
-	}
+	leaver := nw.nodeByID(id)
 	if leaver != nil {
-		nw.couplingRemoveNode(removedAt)
+		removedAt := leaver.idx
+		nw.unregisterNodeAt(removedAt)
+		nw.couplingRemoveNode(leaver, removedAt)
 		// Best-effort release through the retry machine: if every attempt
 		// dies on the side channel the lease TTL reclaims the spectrum.
 		leaver.seq++
@@ -344,36 +401,37 @@ func (nw *Network) applyPromotion(reply []byte) bool {
 	if !ok {
 		return false
 	}
-	for _, n := range nw.Nodes {
-		if n.ID == p.NodeID {
-			n.SDMShared = false
-			n.Assignment = mac.Assignment{
-				NodeID: p.NodeID, CenterHz: p.CenterHz,
-				WidthHz: p.WidthHz, FSKOffsetHz: p.FSKOffsetHz,
-			}
-			nw.applyAssignment(n)
-			nw.couplingUpdateNode(n)
-			return true
-		}
+	n := nw.nodeByID(p.NodeID)
+	if n == nil {
+		return false
 	}
-	return false
+	n.SDMShared = false
+	n.Assignment = mac.Assignment{
+		NodeID: p.NodeID, CenterHz: p.CenterHz,
+		WidthHz: p.WidthHz, FSKOffsetHz: p.FSKOffsetHz,
+	}
+	nw.applyAssignment(n)
+	nw.couplingUpdateNode(n)
+	return true
 }
 
 // MoveNode repositions a live node (a camera carried across the room) and
 // refreshes everything pose-dependent: the OTAM link geometry, the node's
-// TMA harmonic slot, and the cached coupling matrix. It reports whether
-// the node exists. Safe during Run — membership does not change.
+// TMA harmonic slot, and the cached coupling matrix. The coupling refresh
+// is incremental — one gain table plus one row/column recompute
+// (couplingMoveNode), not the full-rebuild invalidation earlier revisions
+// paid per motion event. It reports whether the node exists. Safe during
+// Run — membership does not change.
 func (nw *Network) MoveNode(id uint32, pose channel.Pose) bool {
-	for _, n := range nw.Nodes {
-		if n.ID == id {
-			n.Pose = pose
-			n.Link.Node = pose
-			n.SDMHarmonic = nw.SDM.BestHarmonic(nw.AP.AngleTo(pose.Pos))
-			nw.invalidateCoupling()
-			return true
-		}
+	n := nw.nodeByID(id)
+	if n == nil {
+		return false
 	}
-	return false
+	n.Pose = pose
+	n.Link.Node = pose
+	n.SDMHarmonic = nw.SDM.BestHarmonic(nw.AP.AngleTo(pose.Pos))
+	nw.couplingMoveNode(n)
+	return true
 }
 
 // ValidateSpectrum cross-checks the network's spectrum state against the
@@ -412,16 +470,32 @@ func (nw *Network) ValidateSpectrum() error {
 			return fmt.Errorf("simnet: node %d assignment drifted from the allocator", n.ID)
 		}
 	}
-	for i, a := range nw.Nodes {
-		for _, b := range nw.Nodes[i+1:] {
-			if a.SDMShared || b.SDMShared || a.Down || b.Down {
-				continue
-			}
-			// Same 1 µHz tolerance as Allocator.Validate, so exactly
-			// abutting channels don't trip on float rounding.
-			if a.Assignment.Low() < b.Assignment.High()-1e-6 && b.Assignment.Low() < a.Assignment.High()-1e-6 {
-				return fmt.Errorf("simnet: exclusive channels of nodes %d and %d overlap", a.ID, b.ID)
-			}
+	return nw.checkExclusiveOverlap(nw.Nodes)
+}
+
+// checkExclusiveOverlap verifies no two live exclusive (non-SDM) channels
+// overlap. Sorting by Low() reduces the check to adjacent comparisons —
+// if any pair overlapped, the pair adjacent in sorted order would too
+// (the later channel starts before the earlier one ends) — so validation
+// is O(n log n) instead of the O(n²) pairwise scan that made
+// `mmx-sim -validate` unusable at 100k nodes.
+func (nw *Network) checkExclusiveOverlap(nodes []*Node) error {
+	excl := make([]*Node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.SDMShared || n.Down {
+			continue
+		}
+		excl = append(excl, n)
+	}
+	sort.Slice(excl, func(i, j int) bool {
+		return excl[i].Assignment.Low() < excl[j].Assignment.Low()
+	})
+	for i := 1; i < len(excl); i++ {
+		a, b := excl[i-1], excl[i]
+		// Same 1 µHz tolerance as Allocator.Validate, so exactly
+		// abutting channels don't trip on float rounding.
+		if b.Assignment.Low() < a.Assignment.High()-1e-6 {
+			return fmt.Errorf("simnet: exclusive channels of nodes %d and %d overlap", a.ID, b.ID)
 		}
 	}
 	return nil
@@ -546,6 +620,9 @@ func (nw *Network) forEachNode(n int, fn func(i int)) {
 // is served from the cache in linear form — rebuilt only after
 // membership, pose or assignment changes, not per call.
 func (nw *Network) EvaluateSINR() []Report {
+	if nw.sparse != nil {
+		return nw.sparse.evaluate(nw)
+	}
 	n := len(nw.Nodes)
 	nw.ensureCoupling()
 	evals := make([]core.Evaluation, n)

@@ -118,6 +118,37 @@ func (n *Network) ValidateSpectrum() error { return n.nw.ValidateSpectrum() }
 // evaluation produce bit-identical reports.
 func (n *Network) SetWorkers(w int) { n.nw.Workers = w }
 
+// CouplingMode selects the network's interference bookkeeping strategy.
+type CouplingMode = simnet.CouplingMode
+
+const (
+	// CouplingAuto (the default) runs the exact dense coupling matrix for
+	// small memberships and switches — one way — to the sparse spatial
+	// core when the membership first reaches the crossover size.
+	CouplingAuto = simnet.CouplingAuto
+	// CouplingDense pins the O(n²) dense matrix at any size — the golden
+	// reference the sparse core is tested against.
+	CouplingDense = simnet.CouplingDense
+	// CouplingSparse builds the sparse spatial core immediately: per-node
+	// neighbor lists over a grid partition, with pairs whose worst-case
+	// coupled power falls below the cutoff never stored. This is what
+	// makes 100k-node memberships tractable.
+	CouplingSparse = simnet.CouplingSparse
+)
+
+// SetCouplingMode selects dense vs sparse interference bookkeeping (see
+// the CouplingMode constants). Forcing dense tears down any live sparse
+// state; forcing sparse builds it for the current membership.
+func (n *Network) SetCouplingMode(m CouplingMode) { n.nw.SetCouplingMode(m) }
+
+// SetCouplingCutoff sets the sparse core's edge-admission threshold,
+// in dB relative to each victim's noise floor: a pair whose worst-case
+// coupled power is provably below noise·10^(cutoffDB/10) is never
+// stored. 0 (the default) cuts exactly at the noise floor; more negative
+// values trade memory for a tighter interference error bound. Takes
+// effect when the sparse core is (re)built.
+func (n *Network) SetCouplingCutoff(cutoffDB float64) { n.nw.CouplingCutoffDB = cutoffDB }
+
 // NodeReport is one node's current link quality inside the network,
 // including interference from every other node.
 type NodeReport struct {
