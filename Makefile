@@ -16,7 +16,7 @@ BENCH_NET_PATTERN  ?= NetworkScale
 BENCH_NET_BASELINE ?= BENCH_net.json
 BENCH_OUT      ?= bench.out
 
-.PHONY: build test bench bench-baseline bench-check profile clean
+.PHONY: build test bench bench-baseline bench-check load-smoke profile clean
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_NET_PATTERN)' -benchtime=1x -benchmem . > $(BENCH_OUT)
 	$(GO) run ./cmd/mmx-benchstat -check -baseline $(BENCH_NET_BASELINE) -threshold 0.50 < $(BENCH_OUT)
 	@rm -f $(BENCH_OUT)
+
+# load-smoke soaks the socket-backed control plane on loopback: a live
+# mmx-apd daemon, a fixed-seed fault-injected mmx-load storm, a daemon
+# restart mid-storm, and a convergence assertion on both sides (client
+# fleet converged; daemon's final books audit clean with zero leases).
+load-smoke:
+	bash scripts/load_smoke.sh
 
 # profile runs a representative simulation under the pprof CPU and heap
 # profilers; inspect with `go tool pprof cpu.pprof`.

@@ -89,6 +89,58 @@ func TestBackoff(t *testing.T) {
 	}
 }
 
+// TestBackoffEdgeCases pins the retry policy's corners: the cap must
+// hold after arbitrarily many failures — including attempt counts whose
+// raw exponential overflows float64 to +Inf — jitter must actually vary
+// (a constant "jitter" would re-synchronize colliding retransmitters),
+// a nil RNG must disable jitter entirely, and an attempt counter reset
+// after a success must land back at the base delay.
+func TestBackoffEdgeCases(t *testing.T) {
+	b := Backoff{BaseS: 0.05, MaxS: 2, Factor: 2, Jitter: 0}
+
+	// Cap after many failures: 2^2000 overflows to +Inf; the cap must
+	// still win, or a long-crashed node would sleep forever on reboot.
+	for _, attempt := range []int{20, 100, 2000} {
+		if raw := b.BaseS * math.Pow(b.Factor, float64(attempt)); attempt == 2000 && !math.IsInf(raw, 1) {
+			t.Fatalf("attempt 2000 raw delay = %g, expected +Inf overflow", raw)
+		}
+		if got := b.Delay(attempt, nil); got != b.MaxS {
+			t.Fatalf("attempt %d: delay = %g, want cap %g", attempt, got, b.MaxS)
+		}
+	}
+
+	// Jittered delays stay within ±Jitter of the cap and actually vary.
+	b.Jitter = 0.25
+	rng := stats.NewRNG(7)
+	seen := map[float64]bool{}
+	for i := 0; i < 300; i++ {
+		d := b.Delay(1000, rng)
+		if d < b.MaxS*0.75 || d > b.MaxS*1.25 {
+			t.Fatalf("jittered capped delay %g outside [%g, %g]", d, b.MaxS*0.75, b.MaxS*1.25)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("jitter nearly constant: %d distinct delays in 300 draws", len(seen))
+	}
+
+	// A nil RNG means no jitter, even with Jitter configured — the
+	// deterministic path tests rely on.
+	if got := b.Delay(3, nil); got != b.BaseS*8 {
+		t.Fatalf("nil-rng delay = %g, want exact %g", got, b.BaseS*8)
+	}
+
+	// Reset after success: the retry machines restart the attempt index
+	// per exchange, so attempt 0 must always be the base delay.
+	rng2 := stats.NewRNG(9)
+	for i := 0; i < 100; i++ {
+		d := b.Delay(0, rng2)
+		if d < b.BaseS*0.75 || d > b.BaseS*1.25 {
+			t.Fatalf("post-reset delay %g not anchored at base %g", d, b.BaseS)
+		}
+	}
+}
+
 // TestPlanSorted: events come out in time order, stable on ties.
 func TestPlanSorted(t *testing.T) {
 	p := NewPlan().

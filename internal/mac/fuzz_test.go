@@ -2,7 +2,10 @@ package mac
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"mmx/internal/faults"
 )
 
 // FuzzProto exercises the control-plane wire format with arbitrary
@@ -46,10 +49,32 @@ func FuzzProto(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x00})
 
+	// Transport-captured adversarial shapes: the same frame classes the
+	// socket transport actually produces under fault injection — every
+	// canonical frame cut to a seeded random prefix by faults.SideChannel
+	// (the exact truncation path mmx-load's chaos drills exercise),
+	// single-bit flips at spread positions (corruption the checksumless
+	// side channel cannot detect), and frames padded past MaxFrameLen
+	// (the oversize class the daemon refuses before parsing).
+	trunc := faults.Lossy(0xF0221, 0, 0, 1)
+	for _, m := range seeds {
+		raw, _ := Marshal(m)
+		for _, d := range trunc.Transmit(raw) {
+			f.Add(append([]byte(nil), d.Frame...))
+		}
+		for bit := 0; bit < len(raw)*8; bit += 13 {
+			fl := append([]byte(nil), raw...)
+			fl[bit/8] ^= 1 << (bit % 8)
+			f.Add(fl)
+		}
+		f.Add(append(append([]byte(nil), raw...), make([]byte, MaxFrameLen)...))
+	}
+
 	f.Fuzz(func(t *testing.T, b []byte) {
 		msg, err := Unmarshal(b)
 		if err != nil {
-			if err != ErrShortMessage && err != ErrUnknownType {
+			if !errors.Is(err, ErrShortMessage) && !errors.Is(err, ErrUnknownType) &&
+				!errors.Is(err, ErrFrameTooLong) {
 				t.Fatalf("unexpected error class: %v", err)
 			}
 			return
@@ -73,9 +98,26 @@ func FuzzProto(f *testing.F) {
 			t.Fatalf("encoding of %T is not a fixed point:\n1st: %v\n2nd: %v", msg, re, re2)
 		}
 		for i := 0; i < len(re); i++ {
-			if _, err := Unmarshal(re[:i]); err != ErrShortMessage {
+			if _, err := Unmarshal(re[:i]); !errors.Is(err, ErrShortMessage) {
 				t.Fatalf("prefix %d/%d of %T: got %v, want ErrShortMessage", i, len(re), msg, err)
 			}
+		}
+		// PeekHeader must agree with the full decode on every frame the
+		// codec accepts — the daemon routes frames to per-node shards on
+		// the peeked identity before paying for Unmarshal.
+		_, pnode, pseq, ok := PeekHeader(b)
+		if !ok {
+			t.Fatalf("decodable frame rejected by PeekHeader: %v", b)
+		}
+		node, seq, isReq := RequestIdent(msg)
+		if !isReq {
+			node, seq, isReq = ReplyIdent(msg)
+		}
+		if p, isPromote := msg.(PromoteMsg); isPromote {
+			node, seq, isReq = p.NodeID, pseq, true
+		}
+		if isReq && (node != pnode || seq != pseq) {
+			t.Fatalf("PeekHeader (%d,%d) disagrees with decoded %T (%d,%d)", pnode, pseq, msg, node, seq)
 		}
 	})
 }

@@ -191,24 +191,24 @@ func TestProtoRoundtrips(t *testing.T) {
 }
 
 func TestProtoErrors(t *testing.T) {
-	if _, err := Marshal(42); err != ErrUnknownType {
+	if _, err := Marshal(42); !errors.Is(err, ErrUnknownType) {
 		t.Errorf("unknown type: %v", err)
 	}
-	if _, err := Unmarshal(nil); err != ErrShortMessage {
+	if _, err := Unmarshal(nil); !errors.Is(err, ErrShortMessage) {
 		t.Errorf("empty: %v", err)
 	}
-	if _, err := Unmarshal([]byte{0xFF}); err != ErrUnknownType {
+	if _, err := Unmarshal([]byte{0xFF}); !errors.Is(err, ErrUnknownType) {
 		t.Errorf("bad tag: %v", err)
 	}
 	raw, _ := Marshal(JoinRequest{NodeID: 1, DemandBps: 1e6})
-	if _, err := Unmarshal(raw[:4]); err != ErrShortMessage {
+	if _, err := Unmarshal(raw[:4]); !errors.Is(err, ErrShortMessage) {
 		t.Errorf("truncated: %v", err)
 	}
 	for _, m := range []any{
 		AssignmentMsg{NodeID: 1}, ReleaseMsg{NodeID: 1}, RejectMsg{NodeID: 1},
 	} {
 		raw, _ := Marshal(m)
-		if _, err := Unmarshal(raw[:len(raw)-1]); err != ErrShortMessage {
+		if _, err := Unmarshal(raw[:len(raw)-1]); !errors.Is(err, ErrShortMessage) {
 			t.Errorf("truncated %T: %v", m, err)
 		}
 	}
@@ -269,7 +269,7 @@ func TestControllerBadInput(t *testing.T) {
 	}
 	// An Assignment sent *to* the controller is not a request.
 	raw, _ := Marshal(AssignmentMsg{NodeID: 1})
-	if _, err := c.Handle(raw); err != ErrUnknownType {
+	if _, err := c.Handle(raw); !errors.Is(err, ErrUnknownType) {
 		t.Errorf("unexpected direction: %v", err)
 	}
 	// Zero-demand join propagates the allocator error.
@@ -358,7 +358,7 @@ func TestProtoRoundtripsLifecycle(t *testing.T) {
 		if got != m {
 			t.Errorf("roundtrip %T: %#v != %#v", m, got, m)
 		}
-		if _, err := Unmarshal(raw[:len(raw)-1]); err != ErrShortMessage {
+		if _, err := Unmarshal(raw[:len(raw)-1]); !errors.Is(err, ErrShortMessage) {
 			t.Errorf("truncated %T: %v", m, err)
 		}
 	}

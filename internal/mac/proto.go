@@ -3,6 +3,7 @@ package mac
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -133,11 +134,20 @@ type AckMsg struct {
 	Seq    uint32
 }
 
-// Marshal errors.
+// Codec errors. Unmarshal wraps these with per-message detail, so match
+// with errors.Is, never ==.
 var (
 	ErrShortMessage = errors.New("mac: message truncated")
 	ErrUnknownType  = errors.New("mac: unknown message type")
+	ErrFrameTooLong = errors.New("mac: frame exceeds MaxFrameLen")
+	ErrBadField     = errors.New("mac: field out of range")
 )
+
+// MaxFrameLen is the hard cap on an accepted control frame. The longest
+// legal message (RenewAckMsg) is 35 bytes; anything bigger is
+// adversarial or corrupt, and a network-facing server must be able to
+// bound its per-frame work before parsing a byte.
+const MaxFrameLen = 64
 
 func appendF64(b []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
@@ -204,24 +214,35 @@ func Marshal(msg any) ([]byte, error) {
 	}
 }
 
-// Unmarshal decodes a control message produced by Marshal. Truncated
-// input of a known type returns ErrShortMessage; trailing bytes beyond a
-// message's fixed length are ignored.
+// Unmarshal decodes a control message produced by Marshal. It is the
+// trust boundary against raw network input: every fixed-layout field is
+// bounds-checked before it is read, frames longer than MaxFrameLen are
+// refused outright, and failures are wrapped sentinel errors
+// (errors.Is-matchable), never panics. Truncated input of a known type
+// returns ErrShortMessage; trailing bytes beyond a message's fixed
+// length — but inside the frame cap — are ignored, matching how a
+// datagram receiver treats padding.
 func Unmarshal(b []byte) (any, error) {
 	if len(b) < 1 {
-		return nil, ErrShortMessage
+		return nil, fmt.Errorf("%w: empty frame", ErrShortMessage)
+	}
+	if len(b) > MaxFrameLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLong, len(b))
+	}
+	short := func(m MsgType, need int) error {
+		return fmt.Errorf("%w: type %d needs %d bytes, got %d", ErrShortMessage, m, need, len(b))
 	}
 	node := func() uint32 { return binary.LittleEndian.Uint32(b[1:]) }
 	seq := func() uint32 { return binary.LittleEndian.Uint32(b[5:]) }
-	switch MsgType(b[0]) {
+	switch t := MsgType(b[0]); t {
 	case MsgJoinRequest:
 		if len(b) < 1+8+8 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+8+8)
 		}
 		return JoinRequest{NodeID: node(), Seq: seq(), DemandBps: readF64(b[9:])}, nil
 	case MsgAssignment:
 		if len(b) < 1+8+24 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+8+24)
 		}
 		return AssignmentMsg{
 			NodeID:      node(),
@@ -232,12 +253,12 @@ func Unmarshal(b []byte) (any, error) {
 		}, nil
 	case MsgRelease:
 		if len(b) < 1+8 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+8)
 		}
 		return ReleaseMsg{NodeID: node(), Seq: seq()}, nil
 	case MsgReject:
 		if len(b) < 1+8+8+1 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+8+8+1)
 		}
 		return RejectMsg{
 			NodeID:   node(),
@@ -247,7 +268,7 @@ func Unmarshal(b []byte) (any, error) {
 		}, nil
 	case MsgShareConfirm:
 		if len(b) < 1+8+16+1 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+8+16+1)
 		}
 		return ShareConfirmMsg{
 			NodeID:   node(),
@@ -258,7 +279,7 @@ func Unmarshal(b []byte) (any, error) {
 		}, nil
 	case MsgPromote:
 		if len(b) < 1+4+24 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+4+24)
 		}
 		return PromoteMsg{
 			NodeID:      node(),
@@ -268,12 +289,12 @@ func Unmarshal(b []byte) (any, error) {
 		}, nil
 	case MsgRenew:
 		if len(b) < 1+8 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+8)
 		}
 		return RenewMsg{NodeID: node(), Seq: seq()}, nil
 	case MsgRenewAck:
 		if len(b) < 1+8+24+2 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+8+24+2)
 		}
 		return RenewAckMsg{
 			NodeID:      node(),
@@ -286,17 +307,38 @@ func Unmarshal(b []byte) (any, error) {
 		}, nil
 	case MsgRenewNack:
 		if len(b) < 1+8 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+8)
 		}
 		return RenewNackMsg{NodeID: node(), Seq: seq()}, nil
 	case MsgAck:
 		if len(b) < 1+8 {
-			return nil, ErrShortMessage
+			return nil, short(t, 1+8)
 		}
 		return AckMsg{NodeID: node(), Seq: seq()}, nil
 	default:
-		return nil, ErrUnknownType
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknownType, b[0])
 	}
+}
+
+// PeekHeader reads the fixed header every control message opens with —
+// type tag, node ID and (for sequenced messages) sequence number —
+// without decoding the body. Servers use it to route frames to per-node
+// shards and to address shed replies before paying for a full decode.
+// ok is false for frames too short to carry a header or outside the
+// frame cap; seq is 0 for PromoteMsg, the one unsequenced type.
+func PeekHeader(b []byte) (t MsgType, node, seq uint32, ok bool) {
+	if len(b) < 1+4 || len(b) > MaxFrameLen {
+		return 0, 0, 0, false
+	}
+	t = MsgType(b[0])
+	if t < MsgJoinRequest || t > MsgAck {
+		return 0, 0, 0, false
+	}
+	node = binary.LittleEndian.Uint32(b[1:])
+	if t != MsgPromote && len(b) >= 1+8 {
+		seq = binary.LittleEndian.Uint32(b[5:])
+	}
+	return t, node, seq, true
 }
 
 // RequestIdent returns the (node, seq) identity of a node→AP request.
@@ -573,6 +615,67 @@ func (c *Controller) ExpireLeases(now float64) []uint32 {
 	return expired
 }
 
+// LeaseCount returns the number of live leases — leaseholders that have
+// contacted the controller and been neither released nor expired.
+func (c *Controller) LeaseCount() int { return len(c.renewedAt) }
+
+// AuditBooks cross-checks the controller's internal books — the
+// daemon-side equivalent of the network layer's ValidateSpectrum
+// discipline, covering the state a socket server owns without a
+// simulated deployment around it: the allocator's invariants hold, the
+// sharer registry and its reverse map agree, no node is double-booked as
+// both FDM owner and SDM sharer, and leases exist exactly for the nodes
+// holding spectrum. nil means consistent; the load harness asserts this
+// after a storm quiesces.
+func (c *Controller) AuditBooks() error {
+	if err := c.Alloc.Validate(); err != nil {
+		return err
+	}
+	for center, occ := range c.sharers {
+		if len(occ) == 0 {
+			return fmt.Errorf("mac: empty sharer list kept for channel %.0f Hz", center)
+		}
+		for _, s := range occ {
+			if got, ok := c.shareOf[s.NodeID]; !ok || got != center {
+				return fmt.Errorf("mac: sharer %d on %.0f Hz missing from the reverse map", s.NodeID, center)
+			}
+		}
+	}
+	for id, center := range c.shareOf {
+		found := false
+		for _, s := range c.sharers[center] {
+			if s.NodeID == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("mac: shareOf[%d] = %.0f Hz has no sharer entry", id, center)
+		}
+		if _, ok := c.Alloc.Lookup(id); ok {
+			return fmt.Errorf("mac: node %d double-booked as FDM owner and SDM sharer", id)
+		}
+		if _, ok := c.renewedAt[id]; !ok {
+			return fmt.Errorf("mac: SDM sharer %d holds no lease", id)
+		}
+	}
+	for _, a := range c.Alloc.Assignments() {
+		if _, ok := c.renewedAt[a.NodeID]; !ok {
+			return fmt.Errorf("mac: FDM owner %d holds no lease", a.NodeID)
+		}
+	}
+	for id := range c.renewedAt {
+		if _, ok := c.Alloc.Lookup(id); ok {
+			continue
+		}
+		if _, ok := c.shareOf[id]; ok {
+			continue
+		}
+		return fmt.Errorf("mac: lease held by node %d with no spectrum books", id)
+	}
+	return nil
+}
+
 // Handle processes one encoded control message at the controller's
 // current clock and returns the encoded reply. See HandleAt.
 func (c *Controller) Handle(raw []byte) ([]byte, error) {
@@ -610,6 +713,12 @@ func (c *Controller) HandleAt(raw []byte, now float64) ([]byte, error) {
 func (c *Controller) handle(msg any) ([]byte, error) {
 	switch m := msg.(type) {
 	case JoinRequest:
+		// A NaN demand slips past "<= 0" comparisons and would plant a
+		// NaN-centered channel in the books; refuse non-finite demand
+		// at the trust boundary instead.
+		if math.IsNaN(m.DemandBps) || math.IsInf(m.DemandBps, 0) {
+			return nil, fmt.Errorf("%w: JoinRequest demand %v", ErrBadField, m.DemandBps)
+		}
 		// Idempotent re-grant: a node the books already know asked
 		// again, which means the original reply was lost. Re-send its
 		// standing state instead of ErrAlreadyAllocated.
@@ -663,6 +772,22 @@ func (c *Controller) handle(msg any) ([]byte, error) {
 		}
 		return nil, err
 	case ShareConfirmMsg:
+		// The confirmed placement becomes a map key and a promotion
+		// width, so adversarial values corrupt the books permanently:
+		// require a finite in-band center and a sane positive width.
+		if !(m.ShareHz >= c.Alloc.band.LowHz && m.ShareHz <= c.Alloc.band.HighHz) {
+			return nil, fmt.Errorf("%w: ShareConfirm center %v outside %v", ErrBadField, m.ShareHz, c.Alloc.band)
+		}
+		if !(m.WidthHz > 0) || math.IsInf(m.WidthHz, 0) {
+			return nil, fmt.Errorf("%w: ShareConfirm width %v", ErrBadField, m.WidthHz)
+		}
+		if _, ok := c.Alloc.Lookup(m.NodeID); ok {
+			// An FDM owner confirming a share would double-book itself;
+			// ack without registering and let its next renew resync it
+			// onto the channel it actually owns.
+			c.touch(m.NodeID)
+			return Marshal(AckMsg{NodeID: m.NodeID, Seq: m.Seq})
+		}
 		c.confirmShare(m)
 		c.touch(m.NodeID)
 		return Marshal(AckMsg{NodeID: m.NodeID, Seq: m.Seq})

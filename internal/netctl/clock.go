@@ -1,0 +1,44 @@
+package netctl
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the daemon's swappable time source. Lease TTL expiry — the
+// mechanism that reclaims crashed clients' spectrum — is driven entirely
+// through this interface, so production runs on the monotonic wall clock
+// while tests advance a FakeClock by hand and observe expiry
+// deterministically.
+type Clock interface {
+	// NowS returns monotonic seconds since an arbitrary origin.
+	NowS() float64
+}
+
+// realClock measures monotonic seconds since its creation.
+type realClock struct{ t0 time.Time }
+
+// NewRealClock returns a Clock backed by the monotonic wall clock.
+func NewRealClock() Clock { return &realClock{t0: time.Now()} }
+
+func (c *realClock) NowS() float64 { return time.Since(c.t0).Seconds() }
+
+// FakeClock is a manually advanced Clock for deterministic tests.
+type FakeClock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// NowS returns the fake time.
+func (c *FakeClock) NowS() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the fake time forward by s seconds.
+func (c *FakeClock) Advance(s float64) {
+	c.mu.Lock()
+	c.now += s
+	c.mu.Unlock()
+}

@@ -1,0 +1,71 @@
+// Package netctl carries the control plane onto real transports: the
+// node-side retry state machine shared with the simulator, a client
+// that speaks the MAC wire format over a Transport, and the AP-side
+// Server that serves a mac.Controller from a datagram socket. The
+// packets/client split follows the binary-protocol client architecture
+// referenced in the roadmap: the wire codec lives in internal/mac, the
+// transport and session state machines live here, and nothing in this
+// package knows whether frames cross a real socket or an in-memory
+// fault-injected link.
+package netctl
+
+import (
+	"errors"
+
+	"mmx/internal/faults"
+	"mmx/internal/stats"
+)
+
+// Retrier is the transport-agnostic node-side retry state machine: one
+// request/reply exchange is a sequence of attempts, each bounded by
+// TimeoutS, paced by capped exponential backoff with seeded jitter, and
+// abandoned after MaxAttempts. The simulator and the socket client run
+// this exact implementation — the simulator on virtual time (Sleep nil,
+// elapsed is pure accounting), the client on real time (Sleep blocks) —
+// so the retry behavior validated under seeded fault injection is the
+// behavior deployed against real packet loss.
+type Retrier struct {
+	// TimeoutS bounds one attempt's wait for a matching reply.
+	TimeoutS float64
+	// MaxAttempts bounds the attempts per exchange.
+	MaxAttempts int
+	// Backoff paces the retries (capped exponential + seeded jitter).
+	Backoff faults.Backoff
+	// Sleep, when non-nil, blocks for the given seconds between
+	// attempts. Real-time transports install a time.Sleep adapter;
+	// virtual-time callers leave it nil and account for elapsed time
+	// themselves.
+	Sleep func(seconds float64)
+}
+
+// ErrExhausted reports an exchange whose every attempt failed.
+var ErrExhausted = errors.New("netctl: control exchange timed out after all retries")
+
+// Do runs one exchange. attempt performs a single try — transmit the
+// request, wait up to TimeoutS for a matching reply — and returns the
+// decoded reply, the time the attempt consumed, and whether it
+// succeeded. try is the zero-based attempt index; elapsedS is the time
+// already spent in this exchange, so virtual-time attempts can anchor
+// themselves on the exchange's timeline. After each failure the machine
+// charges TimeoutS plus one jittered backoff draw from rng — exactly one
+// draw per failed attempt, which is what keeps a simulated run
+// bit-reproducible. When Sleep is installed, only the backoff draw is
+// slept: a timed-out attempt already burned its TimeoutS on the wire,
+// and an attempt that failed fast — a send error, or the daemon's
+// explicit shed sentinel — should retreat for the backoff and retry,
+// not wait out a timeout nothing is coming for.
+func (r Retrier) Do(rng *stats.RNG, attempt func(try int, elapsedS float64) (reply any, tookS float64, ok bool)) (any, float64, error) {
+	elapsed := 0.0
+	for try := 0; try < r.MaxAttempts; try++ {
+		reply, took, ok := attempt(try, elapsed)
+		if ok {
+			return reply, elapsed + took, nil
+		}
+		delay := r.Backoff.Delay(try, rng)
+		if r.Sleep != nil && delay > 0 {
+			r.Sleep(delay)
+		}
+		elapsed += r.TimeoutS + delay
+	}
+	return nil, elapsed, ErrExhausted
+}

@@ -1,0 +1,302 @@
+package netctl
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmx/internal/mac"
+)
+
+// ServerConfig sizes the daemon's ingest machinery.
+type ServerConfig struct {
+	// Readers is the number of goroutines draining the socket
+	// (default 1; loopback storms saturate a single reader last).
+	Readers int
+	// Workers is the number of shard workers. A node ID always hashes
+	// to the same shard, so frames from one node are handled strictly
+	// in arrival order — the property the controller's seq/dup-cache
+	// idempotency semantics assume (default 4).
+	Workers int
+	// QueueLen bounds each shard's ingress queue. A frame arriving at
+	// a full shard is shed with an explicit Reject sentinel instead of
+	// dropped silently, so overloaded clients back off immediately
+	// rather than burn their reply timeout (default 1024).
+	QueueLen int
+	// ExpireEveryS is the lease-expiry sweep period; <= 0 disables the
+	// background sweeper (tests then drive ExpireNow by hand).
+	ExpireEveryS float64
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *ServerConfig) fillDefaults() {
+	if c.Readers <= 0 {
+		c.Readers = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+}
+
+// ServerStats is a snapshot of the daemon's counters.
+type ServerStats struct {
+	// Handled counts requests answered by the controller.
+	Handled uint64
+	// Shed counts frames rejected because their shard queue was full.
+	Shed uint64
+	// Malformed counts frames the codec refused (truncated, oversized,
+	// unknown type, bad fields) — dropped silently, as an AP cannot
+	// address a reply for a frame it cannot parse.
+	Malformed uint64
+	// Promotes counts unsolicited PromoteMsg pushes delivered.
+	Promotes uint64
+	// Expired counts leases reclaimed by the TTL sweeper.
+	Expired uint64
+}
+
+// inFrame is one datagram waiting in a shard queue.
+type inFrame struct {
+	b    []byte
+	addr net.Addr
+}
+
+// Server serves a mac.Controller over a datagram socket, speaking the
+// existing little-endian wire format unchanged. The architecture is a
+// small pipeline: reader goroutines drain the socket and route each
+// frame by its node ID onto one of Workers bounded shard queues; shard
+// workers serialize controller access behind one mutex (the controller
+// is deliberately a single-threaded state machine — its books are the
+// ground truth the whole network converges on) and write replies back
+// without holding it. Lease expiry runs on a swappable Clock, and
+// unsolicited PromoteMsg pushes go to each node's last-seen address.
+// Stop drains: readers quiesce first, then every queued frame is
+// handled and its reply flushed before the socket closes.
+type Server struct {
+	cfg   ServerConfig
+	clock Clock
+
+	mu    sync.Mutex // guards ctrl and addrs
+	ctrl  *mac.Controller
+	addrs map[uint32]net.Addr
+
+	conn      net.PacketConn
+	shards    []chan inFrame
+	readersWG sync.WaitGroup
+	workersWG sync.WaitGroup
+	sweeper   chan struct{}
+	closing   atomic.Bool
+	started   bool
+
+	handled, shed, malformed, promotes, expired atomic.Uint64
+}
+
+// NewServer wraps a controller for serving. clock drives lease expiry;
+// pass NewRealClock() in production, a *FakeClock in tests.
+func NewServer(ctrl *mac.Controller, clock Clock, cfg ServerConfig) *Server {
+	cfg.fillDefaults()
+	return &Server{
+		cfg:   cfg,
+		clock: clock,
+		ctrl:  ctrl,
+		addrs: make(map[uint32]net.Addr),
+	}
+}
+
+// Serve starts the pipeline on conn and returns immediately; Stop
+// drains and shuts it down. Serve may be called once per Server.
+func (s *Server) Serve(conn net.PacketConn) {
+	s.conn = conn
+	s.started = true
+	s.shards = make([]chan inFrame, s.cfg.Workers)
+	for i := range s.shards {
+		s.shards[i] = make(chan inFrame, s.cfg.QueueLen)
+	}
+	s.workersWG.Add(len(s.shards))
+	for _, shard := range s.shards {
+		go s.workerLoop(shard)
+	}
+	s.readersWG.Add(s.cfg.Readers)
+	for i := 0; i < s.cfg.Readers; i++ {
+		go s.readLoop()
+	}
+	if s.cfg.ExpireEveryS > 0 {
+		s.sweeper = make(chan struct{})
+		go s.sweepLoop()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) readLoop() {
+	defer s.readersWG.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, addr, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			if s.closing.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			s.logf("read: %v", err)
+			continue
+		}
+		if n > mac.MaxFrameLen {
+			s.malformed.Add(1)
+			continue
+		}
+		_, node, seq, ok := mac.PeekHeader(buf[:n])
+		if !ok {
+			s.malformed.Add(1)
+			continue
+		}
+		fr := inFrame{b: append([]byte(nil), buf[:n]...), addr: addr}
+		shard := s.shards[int(node)%len(s.shards)]
+		select {
+		case shard <- fr:
+		default:
+			// Bounded ingress: shed explicitly. The sentinel rides the
+			// normal reply match, so the client sees "AP busy" now
+			// instead of a timeout later.
+			s.shed.Add(1)
+			if raw, err := mac.Marshal(ShedReply(node, seq)); err == nil {
+				s.conn.WriteTo(raw, addr) //nolint:errcheck // shed reply is best-effort
+			}
+		}
+	}
+}
+
+func (s *Server) workerLoop(shard chan inFrame) {
+	defer s.workersWG.Done()
+	for fr := range shard {
+		now := s.clock.NowS()
+		_, node, _, _ := mac.PeekHeader(fr.b)
+		s.mu.Lock()
+		reply, err := s.ctrl.HandleAt(fr.b, now)
+		notes := s.ctrl.TakeNotifications()
+		if err == nil {
+			s.addrs[node] = fr.addr
+		}
+		s.mu.Unlock()
+		if err != nil {
+			// Parsed enough to route, but the controller's codec or
+			// field validation refused it: no reply is addressable.
+			s.malformed.Add(1)
+			continue
+		}
+		s.handled.Add(1)
+		if len(reply) > 0 {
+			s.conn.WriteTo(reply, fr.addr) //nolint:errcheck // client retry covers a lost reply
+		}
+		s.push(notes)
+	}
+}
+
+// push delivers unsolicited controller→node frames (PromoteMsg) to each
+// target's last-seen address. A push for a node never heard from is
+// dropped — its next renew ack carries the same books.
+func (s *Server) push(notes [][]byte) {
+	for _, note := range notes {
+		_, node, _, ok := mac.PeekHeader(note)
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		addr := s.addrs[node]
+		s.mu.Unlock()
+		if addr == nil {
+			continue
+		}
+		if _, err := s.conn.WriteTo(note, addr); err == nil {
+			s.promotes.Add(1)
+		}
+	}
+}
+
+func (s *Server) sweepLoop() {
+	t := time.NewTicker(secondsToDuration(s.cfg.ExpireEveryS))
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweeper:
+			return
+		case <-t.C:
+			s.ExpireNow()
+		}
+	}
+}
+
+// ExpireNow runs one lease-expiry sweep at the server clock's current
+// time and delivers any resulting promotion pushes. It returns the IDs
+// expired. Tests with a FakeClock call this directly.
+func (s *Server) ExpireNow() []uint32 {
+	s.mu.Lock()
+	expired := s.ctrl.ExpireLeases(s.clock.NowS())
+	notes := s.ctrl.TakeNotifications()
+	s.mu.Unlock()
+	if n := len(expired); n > 0 {
+		s.expired.Add(uint64(n))
+		s.logf("expired %d leases", n)
+	}
+	s.push(notes)
+	return expired
+}
+
+// Stop drains and shuts the pipeline down: readers stop accepting,
+// every already-queued frame is handled and its reply flushed, the
+// sweeper halts, and the socket closes. Safe to call once.
+func (s *Server) Stop() {
+	if !s.started {
+		return
+	}
+	s.closing.Store(true)
+	// Wake blocked readers; they observe closing and exit.
+	s.conn.SetReadDeadline(time.Now()) //nolint:errcheck // mem conns never fail this
+	s.readersWG.Wait()
+	for _, shard := range s.shards {
+		close(shard)
+	}
+	s.workersWG.Wait() // drain-and-flush
+	if s.sweeper != nil {
+		close(s.sweeper)
+	}
+	s.conn.Close() //nolint:errcheck // shutdown path
+}
+
+// Stats snapshots the daemon's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Handled:   s.handled.Load(),
+		Shed:      s.shed.Load(),
+		Malformed: s.malformed.Load(),
+		Promotes:  s.promotes.Load(),
+		Expired:   s.expired.Load(),
+	}
+}
+
+// LeaseCount returns the number of live leases on the controller.
+func (s *Server) LeaseCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.LeaseCount()
+}
+
+// Audit cross-checks the controller's books — the daemon-side
+// ValidateSpectrum discipline. nil means the books are consistent.
+func (s *Server) Audit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.AuditBooks()
+}

@@ -1,0 +1,484 @@
+package netctl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mmx/internal/faults"
+	"mmx/internal/mac"
+)
+
+// Transport is the client's view of the control link: fire a frame
+// toward the AP, wait for the next inbound frame. One frame is one
+// datagram — the MAC wire format is self-delimiting and fits far inside
+// any MTU (mac.MaxFrameLen bytes), so there is no streaming framing
+// layer. Reply matching, retries and timeouts live above this interface
+// in the Client; loss, duplication and reordering below it.
+type Transport interface {
+	// Send transmits one frame toward the AP.
+	Send(frame []byte) error
+	// Recv blocks up to timeoutS for the next inbound frame. ok is
+	// false on timeout or once the transport is closed.
+	Recv(timeoutS float64) (frame []byte, ok bool)
+	// Close releases the transport; blocked Recvs return ok=false.
+	Close() error
+}
+
+// ErrClosed reports use of a closed transport.
+var ErrClosed = errors.New("netctl: transport closed")
+
+// UDPTransport is a Transport over one connected UDP socket — the
+// single-client configuration (a real IoT node owns its own socket).
+type UDPTransport struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// DialUDP connects a transport to the daemon at addr ("host:port").
+func DialUDP(addr string) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetReadBuffer(1 << 20)  //nolint:errcheck // best-effort; kernel clamps
+	conn.SetWriteBuffer(1 << 20) //nolint:errcheck // best-effort
+	return &UDPTransport{conn: conn, buf: make([]byte, 2048)}, nil
+}
+
+// Send transmits one frame.
+func (t *UDPTransport) Send(frame []byte) error {
+	_, err := t.conn.Write(frame)
+	return err
+}
+
+// Recv waits up to timeoutS for the next datagram.
+func (t *UDPTransport) Recv(timeoutS float64) ([]byte, bool) {
+	if err := t.conn.SetReadDeadline(time.Now().Add(secondsToDuration(timeoutS))); err != nil {
+		return nil, false
+	}
+	n, err := t.conn.Read(t.buf)
+	if err != nil {
+		return nil, false
+	}
+	return append([]byte(nil), t.buf[:n]...), true
+}
+
+// Close closes the socket.
+func (t *UDPTransport) Close() error { return t.conn.Close() }
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Mux multiplexes many virtual clients over one UDP socket — how the
+// load generator packs 100k simulated nodes onto a handful of file
+// descriptors. Outbound frames share the socket; inbound frames are
+// routed to the owning client by the node ID every control message
+// carries in its fixed header. A frame for an unregistered node (or a
+// client whose queue is full) is dropped, exactly as a kernel socket
+// buffer would shed it — the retry machine above absorbs the loss.
+type Mux struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	subs   map[uint32]chan []byte
+	closed bool
+}
+
+// DialMux connects a mux to the daemon at addr and starts its reader.
+func DialMux(addr string) (*Mux, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	// A mux socket absorbs reply bursts for thousands of clients; an
+	// undersized kernel buffer drops replies and every drop becomes a
+	// client retransmit — the amplification spiral that collapses a
+	// storm. Ask big; the kernel clamps to rmem_max.
+	conn.SetReadBuffer(8 << 20)  //nolint:errcheck // best-effort
+	conn.SetWriteBuffer(8 << 20) //nolint:errcheck // best-effort
+	m := &Mux{conn: conn, subs: make(map[uint32]chan []byte)}
+	go m.readLoop()
+	return m, nil
+}
+
+func (m *Mux) readLoop() {
+	buf := make([]byte, 2048)
+	for {
+		n, err := m.conn.Read(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				m.mu.Lock()
+				for _, ch := range m.subs {
+					close(ch)
+				}
+				m.subs = make(map[uint32]chan []byte)
+				m.closed = true
+				m.mu.Unlock()
+				return
+			}
+			// Transient socket error — a connected UDP socket surfaces
+			// the daemon's death as ECONNREFUSED (ICMP port unreachable)
+			// on reads until the port is re-bound. The mux must outlive
+			// the outage: the retry machines above treat the silence as
+			// loss and ride it out to the restarted daemon.
+			continue
+		}
+		_, node, _, ok := mac.PeekHeader(buf[:n])
+		if !ok {
+			continue // runt frame: nothing routable
+		}
+		frame := append([]byte(nil), buf[:n]...)
+		m.mu.Lock()
+		ch := m.subs[node]
+		m.mu.Unlock()
+		if ch == nil {
+			continue
+		}
+		select {
+		case ch <- frame:
+		default: // client queue full: shed like a socket buffer
+		}
+	}
+}
+
+// Client returns the transport endpoint for one virtual node. Closing
+// the endpoint unregisters it; the shared socket stays open.
+func (m *Mux) Client(nodeID uint32) Transport {
+	ch := make(chan []byte, 16)
+	m.mu.Lock()
+	if m.closed {
+		close(ch)
+	} else {
+		m.subs[nodeID] = ch
+	}
+	m.mu.Unlock()
+	return &muxClient{m: m, id: nodeID, in: ch}
+}
+
+// Close closes the shared socket; every endpoint's Recv unblocks.
+func (m *Mux) Close() error { return m.conn.Close() }
+
+type muxClient struct {
+	m  *Mux
+	id uint32
+	in chan []byte
+}
+
+func (c *muxClient) Send(frame []byte) error {
+	_, err := c.m.conn.Write(frame)
+	return err
+}
+
+func (c *muxClient) Recv(timeoutS float64) ([]byte, bool) {
+	t := time.NewTimer(secondsToDuration(timeoutS))
+	defer t.Stop()
+	select {
+	case frame, ok := <-c.in:
+		return frame, ok
+	case <-t.C:
+		return nil, false
+	}
+}
+
+func (c *muxClient) Close() error {
+	c.m.mu.Lock()
+	if ch, ok := c.m.subs[c.id]; ok && ch == c.in {
+		delete(c.m.subs, c.id)
+	}
+	c.m.mu.Unlock()
+	return nil
+}
+
+// FaultyTransport injects seeded faults into a Transport's send path —
+// the client-side half of a chaos drill against a live daemon. It reuses
+// faults.SideChannel verbatim, so the drop/dup/truncate/delay semantics
+// (and their statistics counters) are the ones the simulator validates.
+// Delayed copies are delivered late by a timer rather than a virtual
+// clock; the mutex makes the seeded RNG draw safe under the load
+// generator's concurrency, at the cost of cross-client draw order being
+// scheduling-dependent (per-run determinism at that level belongs to the
+// simulator, not a real-time storm).
+type FaultyTransport struct {
+	T    Transport
+	mu   sync.Mutex
+	side *faults.SideChannel
+}
+
+// NewFaultyTransport wraps t with a seeded lossy send path.
+func NewFaultyTransport(t Transport, side *faults.SideChannel) *FaultyTransport {
+	return &FaultyTransport{T: t, side: side}
+}
+
+// Send passes the frame through the side channel: it may vanish, arrive
+// twice, arrive truncated, or arrive late.
+func (f *FaultyTransport) Send(frame []byte) error {
+	f.mu.Lock()
+	deliveries := f.side.Transmit(frame)
+	f.mu.Unlock()
+	var firstErr error
+	for _, d := range deliveries {
+		if d.DelayS > 0 {
+			fr := d.Frame
+			time.AfterFunc(secondsToDuration(d.DelayS), func() {
+				f.T.Send(fr) //nolint:errcheck // a late copy racing Close is just loss
+			})
+			continue
+		}
+		if err := f.T.Send(d.Frame); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Recv and Close delegate to the wrapped transport.
+func (f *FaultyTransport) Recv(timeoutS float64) ([]byte, bool) { return f.T.Recv(timeoutS) }
+
+// Close closes the wrapped transport.
+func (f *FaultyTransport) Close() error { return f.T.Close() }
+
+// Stats returns the injected-fault counters (drops, dups, truncations).
+func (f *FaultyTransport) Stats() (drops, dups, truncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.side.Drops, f.side.Dups, f.side.Truncs
+}
+
+// memAddr is the fake net.Addr a MemNet client presents to the server.
+type memAddr uint32
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return fmt.Sprintf("mem:%d", uint32(a)) }
+
+// dgram is one datagram in flight inside a MemNet.
+type dgram struct {
+	b    []byte
+	addr net.Addr
+}
+
+// MemNet is an in-memory datagram network: one server socket plus any
+// number of client transports, with a seeded faults.SideChannel on each
+// direction. It lets the full daemon/client stack — Server goroutines,
+// shard queues, retry machines — run in a test with deterministic fault
+// injection and no real sockets. The network outlives any one server:
+// after a Server stops (closing its conn), ServerConn hands out a fresh
+// socket over the same in-flight state, which is what a mid-storm
+// daemon-restart drill needs. While no server is reading, client sends
+// still succeed and pile into the ingress buffer until it sheds —
+// exactly a kernel socket buffer with the daemon down.
+type MemNet struct {
+	mu      sync.Mutex
+	side    *faults.SideChannel
+	clients map[uint32]chan []byte
+	toSrv   chan dgram
+}
+
+// NewMemNet builds an in-memory network whose both directions share one
+// seeded side channel (nil side = perfect link).
+func NewMemNet(side *faults.SideChannel) *MemNet {
+	return &MemNet{
+		side:    side,
+		clients: make(map[uint32]chan []byte),
+		toSrv:   make(chan dgram, 1024),
+	}
+}
+
+// Client registers a node endpoint on the network.
+func (mn *MemNet) Client(nodeID uint32) Transport {
+	ch := make(chan []byte, 16)
+	mn.mu.Lock()
+	mn.clients[nodeID] = ch
+	mn.mu.Unlock()
+	return &memClient{mn: mn, id: nodeID, in: ch}
+}
+
+// transmit passes one frame through the shared side channel and hands
+// the surviving copies to deliver (late copies via timers).
+func (mn *MemNet) transmit(frame []byte, deliver func([]byte)) {
+	mn.mu.Lock()
+	deliveries := mn.side.Transmit(frame)
+	mn.mu.Unlock()
+	for _, d := range deliveries {
+		if d.DelayS > 0 {
+			fr := d.Frame
+			time.AfterFunc(secondsToDuration(d.DelayS), func() { deliver(fr) })
+			continue
+		}
+		deliver(d.Frame)
+	}
+}
+
+type memClient struct {
+	mn *MemNet
+	id uint32
+	in chan []byte
+}
+
+func (c *memClient) Send(frame []byte) error {
+	c.mn.transmit(frame, func(b []byte) {
+		select {
+		case c.mn.toSrv <- dgram{b: b, addr: memAddr(c.id)}:
+		default: // ingress full (or no daemon reading): the link sheds it
+		}
+	})
+	return nil
+}
+
+func (c *memClient) Recv(timeoutS float64) ([]byte, bool) {
+	t := time.NewTimer(secondsToDuration(timeoutS))
+	defer t.Stop()
+	select {
+	case frame, ok := <-c.in:
+		return frame, ok
+	case <-t.C:
+		return nil, false
+	}
+}
+
+func (c *memClient) Close() error {
+	c.mn.mu.Lock()
+	if ch, ok := c.mn.clients[c.id]; ok && ch == c.in {
+		delete(c.mn.clients, c.id)
+	}
+	c.mn.mu.Unlock()
+	return nil
+}
+
+// ServerConn returns a server-side socket, a net.PacketConn the Server
+// can serve exactly as it serves a real UDP socket. Each call mints a
+// fresh socket over the same network, so a restart drill is: stop the
+// old server (which closes its conn), build a new one, Serve a new
+// ServerConn. Frames buffered while no server was reading are delivered
+// to the newcomer, like a rebind over a warm kernel buffer.
+func (mn *MemNet) ServerConn() net.PacketConn {
+	return &memServerConn{mn: mn, done: make(chan struct{}), dlWake: make(chan struct{})}
+}
+
+// memServerConn adapts a MemNet to net.PacketConn for the Server.
+type memServerConn struct {
+	mn   *MemNet
+	done chan struct{}
+	once sync.Once
+
+	dlMu     sync.Mutex
+	deadline time.Time
+	// dlWake is closed (and replaced) on every SetReadDeadline so a
+	// blocked ReadFrom re-evaluates its deadline — real sockets
+	// interrupt in-flight reads the same way, and Server.Stop relies on
+	// it to unblock its readers.
+	dlWake chan struct{}
+}
+
+func (sc *memServerConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		sc.dlMu.Lock()
+		dl := sc.deadline
+		wake := sc.dlWake
+		sc.dlMu.Unlock()
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				// Match net's contract: an expired deadline fails reads
+				// immediately with a timeout error.
+				select {
+				case dg := <-sc.mn.toSrv:
+					return copy(p, dg.b), dg.addr, nil
+				default:
+					return 0, nil, errDeadline
+				}
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+		select {
+		case dg := <-sc.mn.toSrv:
+			if timer != nil {
+				timer.Stop()
+			}
+			return copy(p, dg.b), dg.addr, nil
+		case <-sc.done:
+			if timer != nil {
+				timer.Stop()
+			}
+			// Drain what arrived before the close so a graceful shutdown
+			// still flushes queued requests, then report closure.
+			select {
+			case dg := <-sc.mn.toSrv:
+				return copy(p, dg.b), dg.addr, nil
+			default:
+				return 0, nil, net.ErrClosed
+			}
+		case <-timeout:
+			return 0, nil, errDeadline
+		case <-wake:
+			// Deadline changed mid-read: loop and re-evaluate.
+			if timer != nil {
+				timer.Stop()
+			}
+		}
+	}
+}
+
+// errDeadline satisfies net.Error with Timeout()==true, matching what
+// the Server's reader loop expects from a real socket.
+var errDeadline net.Error = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "netctl: i/o deadline exceeded" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+func (sc *memServerConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	id, ok := addr.(memAddr)
+	if !ok {
+		return 0, fmt.Errorf("netctl: foreign addr %v on mem network", addr)
+	}
+	sc.mn.transmit(p, func(b []byte) {
+		sc.mn.mu.Lock()
+		ch := sc.mn.clients[uint32(id)]
+		sc.mn.mu.Unlock()
+		if ch == nil {
+			return
+		}
+		select {
+		case ch <- b:
+		default: // client queue full: shed
+		}
+	})
+	return len(p), nil
+}
+
+func (sc *memServerConn) Close() error {
+	sc.once.Do(func() { close(sc.done) })
+	return nil
+}
+
+func (sc *memServerConn) LocalAddr() net.Addr { return memAddr(0) }
+
+func (sc *memServerConn) SetDeadline(t time.Time) error { return sc.SetReadDeadline(t) }
+
+func (sc *memServerConn) SetReadDeadline(t time.Time) error {
+	sc.dlMu.Lock()
+	sc.deadline = t
+	close(sc.dlWake) // interrupt blocked reads to adopt the new deadline
+	sc.dlWake = make(chan struct{})
+	sc.dlMu.Unlock()
+	return nil
+}
+
+func (sc *memServerConn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,11 +1,11 @@
 package simnet
 
 import (
-	"errors"
 	"fmt"
 
 	"mmx/internal/faults"
 	"mmx/internal/mac"
+	"mmx/internal/netctl"
 )
 
 // ControlConfig sets the timing of the fault-tolerant control plane: the
@@ -39,32 +39,37 @@ func DefaultControlConfig() ControlConfig {
 	}
 }
 
-// errControlTimeout reports an exchange whose every attempt died on the
-// side channel.
-var errControlTimeout = errors.New("simnet: control exchange timed out after all retries")
+// retrier adapts the control timing onto the shared netctl retry state
+// machine. Sleep stays nil: the simulator runs on virtual time, so the
+// machine's elapsed accounting (one TimeoutS plus one jittered backoff
+// draw per failed attempt) is the time that passes.
+func (cc ControlConfig) retrier() netctl.Retrier {
+	return netctl.Retrier{
+		TimeoutS:    cc.TimeoutS,
+		MaxAttempts: cc.MaxAttempts,
+		Backoff:     cc.Backoff,
+	}
+}
 
 // transact runs one request/reply exchange over the (possibly lossy)
 // control side channel: marshal, transmit, collect the reply, and on
-// loss retry with capped exponential backoff and seeded jitter. It
-// returns the decoded reply, the virtual time the exchange consumed, and
-// an error when every attempt failed. Duplicate request copies are
-// deliberately all delivered to the controller — that is what exercises
-// its idempotent handling — and duplicate or stale replies (wrong
-// sequence number) are discarded by the caller-side match.
+// loss retry through netctl.Retrier — the same state machine the socket
+// client runs on real time, here fed virtual-time attempts. It returns
+// the decoded reply, the virtual time the exchange consumed, and an
+// error (netctl.ErrExhausted) when every attempt failed. Duplicate
+// request copies are deliberately all delivered to the controller —
+// that is what exercises its idempotent handling — and duplicate or
+// stale replies (wrong sequence number) are discarded by the
+// caller-side match.
 func (nw *Network) transact(req any, at float64) (any, float64, error) {
 	raw, err := mac.Marshal(req)
 	if err != nil {
 		return nil, 0, err
 	}
 	node, seq, _ := mac.RequestIdent(req)
-	elapsed := 0.0
-	for attempt := 0; attempt < nw.Control.MaxAttempts; attempt++ {
-		if reply, rtt, ok := nw.exchange(raw, node, seq, at+elapsed); ok {
-			return reply, elapsed + rtt, nil
-		}
-		elapsed += nw.Control.TimeoutS + nw.Control.Backoff.Delay(attempt, nw.ctrlRNG)
-	}
-	return nil, elapsed, errControlTimeout
+	return nw.Control.retrier().Do(nw.ctrlRNG, func(_ int, elapsed float64) (any, float64, bool) {
+		return nw.exchange(raw, node, seq, at+elapsed)
+	})
 }
 
 // exchange is one attempt: the request goes through the side channel
