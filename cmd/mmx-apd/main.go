@@ -28,11 +28,50 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"mmx/internal/mac"
 	"mmx/internal/netctl"
 )
+
+// startProfiles mirrors cmd/mmx-sim's -cpuprofile/-memprofile wiring.
+// This daemon leaves through os.Exit, which skips defers, so the
+// returned stop function must be called explicitly on every exit path
+// once profiling has started.
+func startProfiles(cpu, mem string) func() {
+	var f *os.File
+	if cpu != "" {
+		var err error
+		if f, err = os.Create(cpu); err != nil {
+			fmt.Fprintf(os.Stderr, "mmx-apd: create -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mmx-apd: start CPU profile: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	return func() {
+		if f != nil {
+			pprof.StopCPUProfile()
+			f.Close() //nolint:errcheck // profile already flushed
+		}
+		if mem != "" {
+			mf, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mmx-apd: create -memprofile: %v\n", err)
+				return
+			}
+			defer mf.Close() //nolint:errcheck // best-effort teardown
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "mmx-apd: write heap profile: %v\n", err)
+			}
+		}
+	}
+}
 
 func main() {
 	var (
@@ -44,8 +83,11 @@ func main() {
 		workers     = flag.Int("workers", 4, "shard workers serializing controller access per node")
 		queue       = flag.Int("queue", 4096, "per-shard ingress queue depth before shedding")
 		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the serving run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (at shutdown) to this file")
 	)
 	flag.Parse()
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 
 	var b mac.Band
 	switch *band {
@@ -55,12 +97,14 @@ func main() {
 		b = mac.Unlicensed60GHz()
 	default:
 		fmt.Fprintf(os.Stderr, "mmx-apd: unknown band %q\n", *band)
+		stopProfiles()
 		os.Exit(1)
 	}
 
 	conn, err := net.ListenPacket("udp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmx-apd: listen: %v\n", err)
+		stopProfiles()
 		os.Exit(1)
 	}
 	if uc, ok := conn.(*net.UDPConn); ok {
@@ -107,5 +151,6 @@ func main() {
 		code = 2
 	}
 	fmt.Printf("mmx-apd: final leases=%d audit=%s\n", srv.LeaseCount(), audit)
+	stopProfiles()
 	os.Exit(code)
 }

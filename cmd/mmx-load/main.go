@@ -23,10 +23,49 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mmx/internal/faults"
 	"mmx/internal/netctl"
 )
+
+// startProfiles mirrors cmd/mmx-sim's -cpuprofile/-memprofile wiring.
+// The non-convergence path leaves through os.Exit, which skips defers,
+// so the returned stop function must be called explicitly on every exit
+// path once profiling has started.
+func startProfiles(cpu, mem string) func() {
+	var f *os.File
+	if cpu != "" {
+		var err error
+		if f, err = os.Create(cpu); err != nil {
+			fmt.Fprintf(os.Stderr, "mmx-load: create -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mmx-load: start CPU profile: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	return func() {
+		if f != nil {
+			pprof.StopCPUProfile()
+			f.Close() //nolint:errcheck // profile already flushed
+		}
+		if mem != "" {
+			mf, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mmx-load: create -memprofile: %v\n", err)
+				return
+			}
+			defer mf.Close() //nolint:errcheck // best-effort teardown
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "mmx-load: write heap profile: %v\n", err)
+			}
+		}
+	}
+}
 
 func main() {
 	var (
@@ -48,14 +87,18 @@ func main() {
 		delay       = flag.Float64("delay", 0, "injected delay probability")
 		delayMean   = flag.Float64("delay-mean", 0.002, "mean injected delay in seconds")
 		quietReport = flag.Bool("quiet", false, "print only the verdict line")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the storm to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (after the storm) to this file")
 	)
 	flag.Parse()
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 
 	muxes := make([]*netctl.Mux, *sockets)
 	for i := range muxes {
 		m, err := netctl.DialMux(*addr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmx-load: dial %s: %v\n", *addr, err)
+			stopProfiles()
 			os.Exit(1)
 		}
 		muxes[i] = m
@@ -103,6 +146,7 @@ func main() {
 		fmt.Printf("renew:     %s\n", res.Renew)
 		fmt.Printf("sustained: %.0f ops/s over %.2fs (%d ops)\n", res.Throughput(), res.WallS, res.Ops)
 	}
+	stopProfiles()
 	if res.Converged() {
 		fmt.Printf("mmx-load: CONVERGED (%d/%d clients joined and released)\n", res.Released, *clients)
 		return

@@ -157,61 +157,248 @@ func readF64(b []byte) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
-// header starts an encoding with the type tag, node ID and sequence
-// number every sequenced message opens with.
-func header(t MsgType, node, seq uint32) []byte {
-	b := []byte{byte(t)}
+// appendHeader starts an encoding with the type tag, node ID and
+// sequence number every sequenced message opens with.
+func appendHeader(b []byte, t MsgType, node, seq uint32) []byte {
+	b = append(b, byte(t))
 	b = binary.LittleEndian.AppendUint32(b, node)
 	return binary.LittleEndian.AppendUint32(b, seq)
 }
 
-// Marshal encodes any control message.
-func Marshal(msg any) ([]byte, error) {
+// AppendTo appends the message's wire encoding to b and returns the
+// extended slice. The append-style encoders are the allocation-free
+// marshal path: a caller that reuses its destination buffer encodes in
+// place, where Marshal must allocate a fresh slice per message.
+
+// AppendTo appends the wire encoding of the join request to b.
+func (m JoinRequest) AppendTo(b []byte) []byte {
+	return appendF64(appendHeader(b, MsgJoinRequest, m.NodeID, m.Seq), m.DemandBps)
+}
+
+// AppendTo appends the wire encoding of the assignment to b.
+func (m AssignmentMsg) AppendTo(b []byte) []byte {
+	b = appendHeader(b, MsgAssignment, m.NodeID, m.Seq)
+	b = appendF64(b, m.CenterHz)
+	b = appendF64(b, m.WidthHz)
+	return appendF64(b, m.FSKOffsetHz)
+}
+
+// AppendTo appends the wire encoding of the release to b.
+func (m ReleaseMsg) AppendTo(b []byte) []byte {
+	return appendHeader(b, MsgRelease, m.NodeID, m.Seq)
+}
+
+// AppendTo appends the wire encoding of the reject to b.
+func (m RejectMsg) AppendTo(b []byte) []byte {
+	b = appendHeader(b, MsgReject, m.NodeID, m.Seq)
+	b = appendF64(b, m.ShareHz)
+	return append(b, byte(m.Harmonic))
+}
+
+// AppendTo appends the wire encoding of the share confirm to b.
+func (m ShareConfirmMsg) AppendTo(b []byte) []byte {
+	b = appendHeader(b, MsgShareConfirm, m.NodeID, m.Seq)
+	b = appendF64(b, m.ShareHz)
+	b = appendF64(b, m.WidthHz)
+	return append(b, byte(m.Harmonic))
+}
+
+// AppendTo appends the wire encoding of the promote push to b.
+func (m PromoteMsg) AppendTo(b []byte) []byte {
+	b = append(b, byte(MsgPromote))
+	b = binary.LittleEndian.AppendUint32(b, m.NodeID)
+	b = appendF64(b, m.CenterHz)
+	b = appendF64(b, m.WidthHz)
+	return appendF64(b, m.FSKOffsetHz)
+}
+
+// AppendTo appends the wire encoding of the renew keepalive to b.
+func (m RenewMsg) AppendTo(b []byte) []byte {
+	return appendHeader(b, MsgRenew, m.NodeID, m.Seq)
+}
+
+// AppendTo appends the wire encoding of the renew ack to b.
+func (m RenewAckMsg) AppendTo(b []byte) []byte {
+	b = appendHeader(b, MsgRenewAck, m.NodeID, m.Seq)
+	b = appendF64(b, m.CenterHz)
+	b = appendF64(b, m.WidthHz)
+	b = appendF64(b, m.FSKOffsetHz)
+	b = append(b, byte(m.Harmonic))
+	shared := byte(0)
+	if m.Shared {
+		shared = 1
+	}
+	return append(b, shared)
+}
+
+// AppendTo appends the wire encoding of the renew nack to b.
+func (m RenewNackMsg) AppendTo(b []byte) []byte {
+	return appendHeader(b, MsgRenewNack, m.NodeID, m.Seq)
+}
+
+// AppendTo appends the wire encoding of the ack to b.
+func (m AckMsg) AppendTo(b []byte) []byte {
+	return appendHeader(b, MsgAck, m.NodeID, m.Seq)
+}
+
+// Marshal encodes any control message into a fresh slice.
+func Marshal(msg any) ([]byte, error) { return MarshalInto(nil, msg) }
+
+// MarshalInto appends the wire encoding of msg to dst and returns the
+// extended slice — the buffer-reusing form of Marshal. Callers holding a
+// concrete message type should prefer its AppendTo method, which skips
+// the interface boxing this signature forces on the argument.
+func MarshalInto(dst []byte, msg any) ([]byte, error) {
 	switch m := msg.(type) {
 	case JoinRequest:
-		return appendF64(header(MsgJoinRequest, m.NodeID, m.Seq), m.DemandBps), nil
+		return m.AppendTo(dst), nil
 	case AssignmentMsg:
-		b := header(MsgAssignment, m.NodeID, m.Seq)
-		b = appendF64(b, m.CenterHz)
-		b = appendF64(b, m.WidthHz)
-		return appendF64(b, m.FSKOffsetHz), nil
+		return m.AppendTo(dst), nil
 	case ReleaseMsg:
-		return header(MsgRelease, m.NodeID, m.Seq), nil
+		return m.AppendTo(dst), nil
 	case RejectMsg:
-		b := header(MsgReject, m.NodeID, m.Seq)
-		b = appendF64(b, m.ShareHz)
-		return append(b, byte(m.Harmonic)), nil
+		return m.AppendTo(dst), nil
 	case ShareConfirmMsg:
-		b := header(MsgShareConfirm, m.NodeID, m.Seq)
-		b = appendF64(b, m.ShareHz)
-		b = appendF64(b, m.WidthHz)
-		return append(b, byte(m.Harmonic)), nil
+		return m.AppendTo(dst), nil
 	case PromoteMsg:
-		b := []byte{byte(MsgPromote)}
-		b = binary.LittleEndian.AppendUint32(b, m.NodeID)
-		b = appendF64(b, m.CenterHz)
-		b = appendF64(b, m.WidthHz)
-		return appendF64(b, m.FSKOffsetHz), nil
+		return m.AppendTo(dst), nil
 	case RenewMsg:
-		return header(MsgRenew, m.NodeID, m.Seq), nil
+		return m.AppendTo(dst), nil
 	case RenewAckMsg:
-		b := header(MsgRenewAck, m.NodeID, m.Seq)
-		b = appendF64(b, m.CenterHz)
-		b = appendF64(b, m.WidthHz)
-		b = appendF64(b, m.FSKOffsetHz)
-		b = append(b, byte(m.Harmonic))
-		shared := byte(0)
-		if m.Shared {
-			shared = 1
-		}
-		return append(b, shared), nil
+		return m.AppendTo(dst), nil
 	case RenewNackMsg:
-		return header(MsgRenewNack, m.NodeID, m.Seq), nil
+		return m.AppendTo(dst), nil
 	case AckMsg:
-		return header(MsgAck, m.NodeID, m.Seq), nil
+		return m.AppendTo(dst), nil
 	default:
 		return nil, ErrUnknownType
 	}
+}
+
+// shortErr reports a truncated frame of a known type.
+func shortErr(b []byte, m MsgType, need int) error {
+	return fmt.Errorf("%w: type %d needs %d bytes, got %d", ErrShortMessage, m, need, len(b))
+}
+
+func rawNode(b []byte) uint32 { return binary.LittleEndian.Uint32(b[1:]) }
+func rawSeq(b []byte) uint32  { return binary.LittleEndian.Uint32(b[5:]) }
+
+// The typed decoders below are the non-boxing half of the codec: they
+// return concrete message structs on the caller's stack, so the server
+// hot path (Controller.HandleAtAppend) decodes without the interface
+// allocation Unmarshal's `any` return forces. Unmarshal dispatches to
+// them, so both paths share one set of bounds checks.
+
+func decodeJoinRequest(b []byte) (JoinRequest, error) {
+	if len(b) < 1+8+8 {
+		return JoinRequest{}, shortErr(b, MsgJoinRequest, 1+8+8)
+	}
+	return JoinRequest{NodeID: rawNode(b), Seq: rawSeq(b), DemandBps: readF64(b[9:])}, nil
+}
+
+func decodeAssignment(b []byte) (AssignmentMsg, error) {
+	if len(b) < 1+8+24 {
+		return AssignmentMsg{}, shortErr(b, MsgAssignment, 1+8+24)
+	}
+	return AssignmentMsg{
+		NodeID:      rawNode(b),
+		Seq:         rawSeq(b),
+		CenterHz:    readF64(b[9:]),
+		WidthHz:     readF64(b[17:]),
+		FSKOffsetHz: readF64(b[25:]),
+	}, nil
+}
+
+func decodeRelease(b []byte) (ReleaseMsg, error) {
+	if len(b) < 1+8 {
+		return ReleaseMsg{}, shortErr(b, MsgRelease, 1+8)
+	}
+	return ReleaseMsg{NodeID: rawNode(b), Seq: rawSeq(b)}, nil
+}
+
+func decodeReject(b []byte) (RejectMsg, error) {
+	if len(b) < 1+8+8+1 {
+		return RejectMsg{}, shortErr(b, MsgReject, 1+8+8+1)
+	}
+	return RejectMsg{
+		NodeID:   rawNode(b),
+		Seq:      rawSeq(b),
+		ShareHz:  readF64(b[9:]),
+		Harmonic: int8(b[17]),
+	}, nil
+}
+
+func decodeShareConfirm(b []byte) (ShareConfirmMsg, error) {
+	if len(b) < 1+8+16+1 {
+		return ShareConfirmMsg{}, shortErr(b, MsgShareConfirm, 1+8+16+1)
+	}
+	return ShareConfirmMsg{
+		NodeID:   rawNode(b),
+		Seq:      rawSeq(b),
+		ShareHz:  readF64(b[9:]),
+		WidthHz:  readF64(b[17:]),
+		Harmonic: int8(b[25]),
+	}, nil
+}
+
+func decodePromote(b []byte) (PromoteMsg, error) {
+	if len(b) < 1+4+24 {
+		return PromoteMsg{}, shortErr(b, MsgPromote, 1+4+24)
+	}
+	return PromoteMsg{
+		NodeID:      rawNode(b),
+		CenterHz:    readF64(b[5:]),
+		WidthHz:     readF64(b[13:]),
+		FSKOffsetHz: readF64(b[21:]),
+	}, nil
+}
+
+func decodeRenew(b []byte) (RenewMsg, error) {
+	if len(b) < 1+8 {
+		return RenewMsg{}, shortErr(b, MsgRenew, 1+8)
+	}
+	return RenewMsg{NodeID: rawNode(b), Seq: rawSeq(b)}, nil
+}
+
+func decodeRenewAck(b []byte) (RenewAckMsg, error) {
+	if len(b) < 1+8+24+2 {
+		return RenewAckMsg{}, shortErr(b, MsgRenewAck, 1+8+24+2)
+	}
+	return RenewAckMsg{
+		NodeID:      rawNode(b),
+		Seq:         rawSeq(b),
+		CenterHz:    readF64(b[9:]),
+		WidthHz:     readF64(b[17:]),
+		FSKOffsetHz: readF64(b[25:]),
+		Harmonic:    int8(b[33]),
+		Shared:      b[34] != 0,
+	}, nil
+}
+
+func decodeRenewNack(b []byte) (RenewNackMsg, error) {
+	if len(b) < 1+8 {
+		return RenewNackMsg{}, shortErr(b, MsgRenewNack, 1+8)
+	}
+	return RenewNackMsg{NodeID: rawNode(b), Seq: rawSeq(b)}, nil
+}
+
+func decodeAck(b []byte) (AckMsg, error) {
+	if len(b) < 1+8 {
+		return AckMsg{}, shortErr(b, MsgAck, 1+8)
+	}
+	return AckMsg{NodeID: rawNode(b), Seq: rawSeq(b)}, nil
+}
+
+// frameBounds applies the frame-level checks shared by Unmarshal and
+// HandleAtAppend: non-empty, inside the MaxFrameLen cap.
+func frameBounds(b []byte) error {
+	if len(b) < 1 {
+		return fmt.Errorf("%w: empty frame", ErrShortMessage)
+	}
+	if len(b) > MaxFrameLen {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLong, len(b))
+	}
+	return nil
 }
 
 // Unmarshal decodes a control message produced by Marshal. It is the
@@ -223,101 +410,42 @@ func Marshal(msg any) ([]byte, error) {
 // length — but inside the frame cap — are ignored, matching how a
 // datagram receiver treats padding.
 func Unmarshal(b []byte) (any, error) {
-	if len(b) < 1 {
-		return nil, fmt.Errorf("%w: empty frame", ErrShortMessage)
+	if err := frameBounds(b); err != nil {
+		return nil, err
 	}
-	if len(b) > MaxFrameLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLong, len(b))
-	}
-	short := func(m MsgType, need int) error {
-		return fmt.Errorf("%w: type %d needs %d bytes, got %d", ErrShortMessage, m, need, len(b))
-	}
-	node := func() uint32 { return binary.LittleEndian.Uint32(b[1:]) }
-	seq := func() uint32 { return binary.LittleEndian.Uint32(b[5:]) }
 	switch t := MsgType(b[0]); t {
 	case MsgJoinRequest:
-		if len(b) < 1+8+8 {
-			return nil, short(t, 1+8+8)
-		}
-		return JoinRequest{NodeID: node(), Seq: seq(), DemandBps: readF64(b[9:])}, nil
+		return boxDecode(decodeJoinRequest(b))
 	case MsgAssignment:
-		if len(b) < 1+8+24 {
-			return nil, short(t, 1+8+24)
-		}
-		return AssignmentMsg{
-			NodeID:      node(),
-			Seq:         seq(),
-			CenterHz:    readF64(b[9:]),
-			WidthHz:     readF64(b[17:]),
-			FSKOffsetHz: readF64(b[25:]),
-		}, nil
+		return boxDecode(decodeAssignment(b))
 	case MsgRelease:
-		if len(b) < 1+8 {
-			return nil, short(t, 1+8)
-		}
-		return ReleaseMsg{NodeID: node(), Seq: seq()}, nil
+		return boxDecode(decodeRelease(b))
 	case MsgReject:
-		if len(b) < 1+8+8+1 {
-			return nil, short(t, 1+8+8+1)
-		}
-		return RejectMsg{
-			NodeID:   node(),
-			Seq:      seq(),
-			ShareHz:  readF64(b[9:]),
-			Harmonic: int8(b[17]),
-		}, nil
+		return boxDecode(decodeReject(b))
 	case MsgShareConfirm:
-		if len(b) < 1+8+16+1 {
-			return nil, short(t, 1+8+16+1)
-		}
-		return ShareConfirmMsg{
-			NodeID:   node(),
-			Seq:      seq(),
-			ShareHz:  readF64(b[9:]),
-			WidthHz:  readF64(b[17:]),
-			Harmonic: int8(b[25]),
-		}, nil
+		return boxDecode(decodeShareConfirm(b))
 	case MsgPromote:
-		if len(b) < 1+4+24 {
-			return nil, short(t, 1+4+24)
-		}
-		return PromoteMsg{
-			NodeID:      node(),
-			CenterHz:    readF64(b[5:]),
-			WidthHz:     readF64(b[13:]),
-			FSKOffsetHz: readF64(b[21:]),
-		}, nil
+		return boxDecode(decodePromote(b))
 	case MsgRenew:
-		if len(b) < 1+8 {
-			return nil, short(t, 1+8)
-		}
-		return RenewMsg{NodeID: node(), Seq: seq()}, nil
+		return boxDecode(decodeRenew(b))
 	case MsgRenewAck:
-		if len(b) < 1+8+24+2 {
-			return nil, short(t, 1+8+24+2)
-		}
-		return RenewAckMsg{
-			NodeID:      node(),
-			Seq:         seq(),
-			CenterHz:    readF64(b[9:]),
-			WidthHz:     readF64(b[17:]),
-			FSKOffsetHz: readF64(b[25:]),
-			Harmonic:    int8(b[33]),
-			Shared:      b[34] != 0,
-		}, nil
+		return boxDecode(decodeRenewAck(b))
 	case MsgRenewNack:
-		if len(b) < 1+8 {
-			return nil, short(t, 1+8)
-		}
-		return RenewNackMsg{NodeID: node(), Seq: seq()}, nil
+		return boxDecode(decodeRenewNack(b))
 	case MsgAck:
-		if len(b) < 1+8 {
-			return nil, short(t, 1+8)
-		}
-		return AckMsg{NodeID: node(), Seq: seq()}, nil
+		return boxDecode(decodeAck(b))
 	default:
 		return nil, fmt.Errorf("%w: tag %d", ErrUnknownType, b[0])
 	}
+}
+
+// boxDecode lifts a typed decode result into Unmarshal's (any, error)
+// shape without returning a non-nil interface on error.
+func boxDecode[T any](m T, err error) (any, error) {
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // PeekHeader reads the fixed header every control message opens with —
@@ -686,153 +814,239 @@ func (c *Controller) Handle(raw []byte) ([]byte, error) {
 // Every request gets a reply (Assignment/Reject for joins, RenewAck/Nack
 // for renews, Ack for releases and share confirms); promotion pushes are
 // queued for TakeNotifications rather than returned, because they are
-// addressed to a different node than the sender.
+// addressed to a different node than the sender. The reply is a fresh
+// slice; servers that reuse reply buffers call HandleAtAppend instead.
 func (c *Controller) HandleAt(raw []byte, now float64) ([]byte, error) {
+	return c.HandleAtAppend(nil, raw, now)
+}
+
+// replay serves an exact retransmission of a node's last request from
+// the duplicate-suppression cache: the original reply is re-appended to
+// dst without re-executing anything.
+func (c *Controller) replay(dst []byte, node, seq uint32) ([]byte, bool) {
+	if seq != 0 && c.lastSeq[node] == seq {
+		return append(dst, c.lastReply[node]...), true
+	}
+	return nil, false
+}
+
+// remember caches a request's encoded reply for duplicate suppression.
+// The per-node cache slice is reused across requests, so the steady
+// state writes into standing capacity instead of allocating.
+func (c *Controller) remember(node, seq uint32, reply []byte) {
+	if seq != 0 {
+		c.lastSeq[node] = seq
+		c.lastReply[node] = append(c.lastReply[node][:0], reply...)
+	}
+}
+
+// HandleAtAppend is HandleAt with the reply appended to dst — the
+// server hot path. Decoding uses the typed decoders (no interface
+// boxing), replies encode through the AppendTo encoders into dst, and
+// the duplicate-suppression cache recycles its per-node slices, so a
+// caller that reuses dst handles a steady-state request — renew, ack'd
+// release, idempotent re-grant — with zero heap allocations.
+func (c *Controller) HandleAtAppend(dst, raw []byte, now float64) ([]byte, error) {
 	if now > c.now {
 		c.now = now
 	}
-	msg, err := Unmarshal(raw)
-	if err != nil {
+	if err := frameBounds(raw); err != nil {
 		return nil, err
 	}
-	if node, seq, ok := RequestIdent(msg); ok && seq != 0 && c.lastSeq[node] == seq {
-		// Exact retransmission of the last request: re-send the original
-		// reply without re-executing anything.
-		return append([]byte(nil), c.lastReply[node]...), nil
-	}
-	reply, err := c.handle(msg)
-	if err == nil {
-		if node, seq, ok := RequestIdent(msg); ok && seq != 0 {
-			c.lastSeq[node] = seq
-			c.lastReply[node] = append([]byte(nil), reply...)
-		}
-	}
-	return reply, err
-}
-
-func (c *Controller) handle(msg any) ([]byte, error) {
-	switch m := msg.(type) {
-	case JoinRequest:
-		// A NaN demand slips past "<= 0" comparisons and would plant a
-		// NaN-centered channel in the books; refuse non-finite demand
-		// at the trust boundary instead.
-		if math.IsNaN(m.DemandBps) || math.IsInf(m.DemandBps, 0) {
-			return nil, fmt.Errorf("%w: JoinRequest demand %v", ErrBadField, m.DemandBps)
-		}
-		// Idempotent re-grant: a node the books already know asked
-		// again, which means the original reply was lost. Re-send its
-		// standing state instead of ErrAlreadyAllocated.
-		if asg, ok := c.Alloc.Lookup(m.NodeID); ok {
-			c.touch(m.NodeID)
-			return Marshal(AssignmentMsg{
-				NodeID:      m.NodeID,
-				Seq:         m.Seq,
-				CenterHz:    asg.CenterHz,
-				WidthHz:     asg.WidthHz,
-				FSKOffsetHz: asg.FSKOffsetHz,
-			})
-		}
-		if center, ok := c.shareOf[m.NodeID]; ok {
-			h := int8(0)
-			for _, s := range c.sharers[center] {
-				if s.NodeID == m.NodeID {
-					h = s.Harmonic
-				}
-			}
-			c.touch(m.NodeID)
-			return Marshal(RejectMsg{NodeID: m.NodeID, Seq: m.Seq, ShareHz: center, Harmonic: h})
-		}
-		asg, err := c.Alloc.Allocate(m.NodeID, m.DemandBps)
-		if err == nil {
-			c.touch(m.NodeID)
-			return Marshal(AssignmentMsg{
-				NodeID:      m.NodeID,
-				Seq:         m.Seq,
-				CenterHz:    asg.CenterHz,
-				WidthHz:     asg.WidthHz,
-				FSKOffsetHz: asg.FSKOffsetHz,
-			})
-		}
-		if errors.Is(err, ErrBandFull) {
-			// Fall back to SDM: spread overflow nodes across existing
-			// channels round-robin, each on a rotating harmonic, so no
-			// single channel absorbs all the spatial reuse. The lease
-			// starts when the node confirms its placement.
-			share := c.Alloc.band.LowHz + BandwidthForRate(m.DemandBps)/2
-			if got := c.Alloc.sorted(); len(got) > 0 {
-				share = got[c.nextShare%len(got)].CenterHz
-				c.nextShare++
-			}
-			h := c.nextHarmonic%c.MaxHarmonic + 1
-			if c.nextHarmonic%2 == 1 {
-				h = -h
-			}
-			c.nextHarmonic++
-			return Marshal(RejectMsg{NodeID: m.NodeID, Seq: m.Seq, ShareHz: share, Harmonic: int8(h)})
-		}
-		return nil, err
-	case ShareConfirmMsg:
-		// The confirmed placement becomes a map key and a promotion
-		// width, so adversarial values corrupt the books permanently:
-		// require a finite in-band center and a sane positive width.
-		if !(m.ShareHz >= c.Alloc.band.LowHz && m.ShareHz <= c.Alloc.band.HighHz) {
-			return nil, fmt.Errorf("%w: ShareConfirm center %v outside %v", ErrBadField, m.ShareHz, c.Alloc.band)
-		}
-		if !(m.WidthHz > 0) || math.IsInf(m.WidthHz, 0) {
-			return nil, fmt.Errorf("%w: ShareConfirm width %v", ErrBadField, m.WidthHz)
-		}
-		if _, ok := c.Alloc.Lookup(m.NodeID); ok {
-			// An FDM owner confirming a share would double-book itself;
-			// ack without registering and let its next renew resync it
-			// onto the channel it actually owns.
-			c.touch(m.NodeID)
-			return Marshal(AckMsg{NodeID: m.NodeID, Seq: m.Seq})
-		}
-		c.confirmShare(m)
-		c.touch(m.NodeID)
-		return Marshal(AckMsg{NodeID: m.NodeID, Seq: m.Seq})
-	case ReleaseMsg:
-		note, err := c.release(m.NodeID)
+	mark := len(dst)
+	switch t := MsgType(raw[0]); t {
+	case MsgJoinRequest:
+		m, err := decodeJoinRequest(raw)
 		if err != nil {
 			return nil, err
 		}
-		if len(note) > 0 {
-			c.pending = append(c.pending, note)
+		if out, hit := c.replay(dst, m.NodeID, m.Seq); hit {
+			return out, nil
 		}
-		delete(c.renewedAt, m.NodeID)
-		return Marshal(AckMsg{NodeID: m.NodeID, Seq: m.Seq})
-	case RenewMsg:
-		if asg, ok := c.Alloc.Lookup(m.NodeID); ok {
-			c.touch(m.NodeID)
-			return Marshal(RenewAckMsg{
-				NodeID:      m.NodeID,
-				Seq:         m.Seq,
-				CenterHz:    asg.CenterHz,
-				WidthHz:     asg.WidthHz,
-				FSKOffsetHz: asg.FSKOffsetHz,
-				Shared:      false,
-			})
+		out, err := c.handleJoin(dst, m)
+		if err != nil {
+			return nil, err
 		}
-		if center, ok := c.shareOf[m.NodeID]; ok {
-			var s Sharer
-			for _, occ := range c.sharers[center] {
-				if occ.NodeID == m.NodeID {
-					s = occ
-				}
-			}
-			c.touch(m.NodeID)
-			return Marshal(RenewAckMsg{
-				NodeID:      m.NodeID,
-				Seq:         m.Seq,
-				CenterHz:    center,
-				WidthHz:     s.WidthHz,
-				FSKOffsetHz: s.WidthHz * c.Alloc.FSKFraction,
-				Harmonic:    s.Harmonic,
-				Shared:      true,
-			})
+		c.remember(m.NodeID, m.Seq, out[mark:])
+		return out, nil
+	case MsgShareConfirm:
+		m, err := decodeShareConfirm(raw)
+		if err != nil {
+			return nil, err
 		}
-		return Marshal(RenewNackMsg{NodeID: m.NodeID, Seq: m.Seq})
-	default:
+		if out, hit := c.replay(dst, m.NodeID, m.Seq); hit {
+			return out, nil
+		}
+		out, err := c.handleShareConfirm(dst, m)
+		if err != nil {
+			return nil, err
+		}
+		c.remember(m.NodeID, m.Seq, out[mark:])
+		return out, nil
+	case MsgRelease:
+		m, err := decodeRelease(raw)
+		if err != nil {
+			return nil, err
+		}
+		if out, hit := c.replay(dst, m.NodeID, m.Seq); hit {
+			return out, nil
+		}
+		out, err := c.handleRelease(dst, m)
+		if err != nil {
+			return nil, err
+		}
+		c.remember(m.NodeID, m.Seq, out[mark:])
+		return out, nil
+	case MsgRenew:
+		m, err := decodeRenew(raw)
+		if err != nil {
+			return nil, err
+		}
+		if out, hit := c.replay(dst, m.NodeID, m.Seq); hit {
+			return out, nil
+		}
+		out, err := c.handleRenew(dst, m)
+		if err != nil {
+			return nil, err
+		}
+		c.remember(m.NodeID, m.Seq, out[mark:])
+		return out, nil
+	case MsgAssignment, MsgReject, MsgPromote, MsgRenewAck, MsgRenewNack, MsgAck:
+		// Well-formed frames of reply/push types are not requests an AP
+		// answers; validate their length like Unmarshal, then refuse.
+		if _, err := Unmarshal(raw); err != nil {
+			return nil, err
+		}
 		return nil, ErrUnknownType
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknownType, raw[0])
 	}
+}
+
+func (c *Controller) handleJoin(dst []byte, m JoinRequest) ([]byte, error) {
+	// A NaN demand slips past "<= 0" comparisons and would plant a
+	// NaN-centered channel in the books; refuse non-finite demand
+	// at the trust boundary instead.
+	if math.IsNaN(m.DemandBps) || math.IsInf(m.DemandBps, 0) {
+		return nil, fmt.Errorf("%w: JoinRequest demand %v", ErrBadField, m.DemandBps)
+	}
+	// Idempotent re-grant: a node the books already know asked
+	// again, which means the original reply was lost. Re-send its
+	// standing state instead of ErrAlreadyAllocated.
+	if asg, ok := c.Alloc.Lookup(m.NodeID); ok {
+		c.touch(m.NodeID)
+		return AssignmentMsg{
+			NodeID:      m.NodeID,
+			Seq:         m.Seq,
+			CenterHz:    asg.CenterHz,
+			WidthHz:     asg.WidthHz,
+			FSKOffsetHz: asg.FSKOffsetHz,
+		}.AppendTo(dst), nil
+	}
+	if center, ok := c.shareOf[m.NodeID]; ok {
+		h := int8(0)
+		for _, s := range c.sharers[center] {
+			if s.NodeID == m.NodeID {
+				h = s.Harmonic
+			}
+		}
+		c.touch(m.NodeID)
+		return RejectMsg{NodeID: m.NodeID, Seq: m.Seq, ShareHz: center, Harmonic: h}.AppendTo(dst), nil
+	}
+	asg, err := c.Alloc.Allocate(m.NodeID, m.DemandBps)
+	if err == nil {
+		c.touch(m.NodeID)
+		return AssignmentMsg{
+			NodeID:      m.NodeID,
+			Seq:         m.Seq,
+			CenterHz:    asg.CenterHz,
+			WidthHz:     asg.WidthHz,
+			FSKOffsetHz: asg.FSKOffsetHz,
+		}.AppendTo(dst), nil
+	}
+	if errors.Is(err, ErrBandFull) {
+		// Fall back to SDM: spread overflow nodes across existing
+		// channels round-robin, each on a rotating harmonic, so no
+		// single channel absorbs all the spatial reuse. The lease
+		// starts when the node confirms its placement.
+		share := c.Alloc.band.LowHz + BandwidthForRate(m.DemandBps)/2
+		if got := c.Alloc.sorted(); len(got) > 0 {
+			share = got[c.nextShare%len(got)].CenterHz
+			c.nextShare++
+		}
+		h := c.nextHarmonic%c.MaxHarmonic + 1
+		if c.nextHarmonic%2 == 1 {
+			h = -h
+		}
+		c.nextHarmonic++
+		return RejectMsg{NodeID: m.NodeID, Seq: m.Seq, ShareHz: share, Harmonic: int8(h)}.AppendTo(dst), nil
+	}
+	return nil, err
+}
+
+func (c *Controller) handleShareConfirm(dst []byte, m ShareConfirmMsg) ([]byte, error) {
+	// The confirmed placement becomes a map key and a promotion
+	// width, so adversarial values corrupt the books permanently:
+	// require a finite in-band center and a sane positive width.
+	if !(m.ShareHz >= c.Alloc.band.LowHz && m.ShareHz <= c.Alloc.band.HighHz) {
+		return nil, fmt.Errorf("%w: ShareConfirm center %v outside %v", ErrBadField, m.ShareHz, c.Alloc.band)
+	}
+	if !(m.WidthHz > 0) || math.IsInf(m.WidthHz, 0) {
+		return nil, fmt.Errorf("%w: ShareConfirm width %v", ErrBadField, m.WidthHz)
+	}
+	if _, ok := c.Alloc.Lookup(m.NodeID); ok {
+		// An FDM owner confirming a share would double-book itself;
+		// ack without registering and let its next renew resync it
+		// onto the channel it actually owns.
+		c.touch(m.NodeID)
+		return AckMsg{NodeID: m.NodeID, Seq: m.Seq}.AppendTo(dst), nil
+	}
+	c.confirmShare(m)
+	c.touch(m.NodeID)
+	return AckMsg{NodeID: m.NodeID, Seq: m.Seq}.AppendTo(dst), nil
+}
+
+func (c *Controller) handleRelease(dst []byte, m ReleaseMsg) ([]byte, error) {
+	note, err := c.release(m.NodeID)
+	if err != nil {
+		return nil, err
+	}
+	if len(note) > 0 {
+		c.pending = append(c.pending, note)
+	}
+	delete(c.renewedAt, m.NodeID)
+	return AckMsg{NodeID: m.NodeID, Seq: m.Seq}.AppendTo(dst), nil
+}
+
+func (c *Controller) handleRenew(dst []byte, m RenewMsg) ([]byte, error) {
+	if asg, ok := c.Alloc.Lookup(m.NodeID); ok {
+		c.touch(m.NodeID)
+		return RenewAckMsg{
+			NodeID:      m.NodeID,
+			Seq:         m.Seq,
+			CenterHz:    asg.CenterHz,
+			WidthHz:     asg.WidthHz,
+			FSKOffsetHz: asg.FSKOffsetHz,
+			Shared:      false,
+		}.AppendTo(dst), nil
+	}
+	if center, ok := c.shareOf[m.NodeID]; ok {
+		var s Sharer
+		for _, occ := range c.sharers[center] {
+			if occ.NodeID == m.NodeID {
+				s = occ
+			}
+		}
+		c.touch(m.NodeID)
+		return RenewAckMsg{
+			NodeID:      m.NodeID,
+			Seq:         m.Seq,
+			CenterHz:    center,
+			WidthHz:     s.WidthHz,
+			FSKOffsetHz: s.WidthHz * c.Alloc.FSKFraction,
+			Harmonic:    s.Harmonic,
+			Shared:      true,
+		}.AppendTo(dst), nil
+	}
+	return RenewNackMsg{NodeID: m.NodeID, Seq: m.Seq}.AppendTo(dst), nil
 }

@@ -1,0 +1,86 @@
+package netctl
+
+import "net"
+
+// Batch I/O abstraction for the server's ingest/reply pipeline. A
+// batchReader blocks for the first datagram (honoring read deadlines),
+// then takes whatever more is immediately available up to the batch
+// size; a batchWriter flushes a batch of reply frames, each to its own
+// frame.addr. On Linux these map to one recvmmsg/sendmmsg syscall per
+// batch; the in-memory test network moves batches per channel sweep;
+// everything else degrades to one datagram per ReadFrom/WriteTo call —
+// the portable single-message fallback.
+type batchReader interface {
+	// readBatch fills fs (reusing any non-nil pooled frames already in
+	// it, acquiring the rest) and returns how many lead entries hold
+	// received datagrams. Each filled frame carries its source address;
+	// a frame that arrived truncated reports n > mac.MaxFrameLen so the
+	// caller's malformed check catches it.
+	readBatch(fs []*frame) (int, error)
+}
+
+type batchWriter interface {
+	// writeBatch sends every frame to its addr. Best-effort: an error
+	// means some tail of the batch was lost, which the client retry
+	// machinery absorbs exactly like wire loss. Frames remain owned by
+	// the caller (it recycles them afterwards).
+	writeBatch(fs []*frame) error
+}
+
+// batchIO mints per-goroutine readers and writers over one socket.
+// Readers and writers hold per-goroutine scratch state (iovecs, sockaddr
+// storage, interning tables), so each reader/worker goroutine gets its
+// own; the underlying socket is shared and safe for concurrent batch
+// syscalls.
+type batchIO interface {
+	reader(batch int) batchReader
+	writer(batch int) batchWriter
+}
+
+// newBatchIO picks the fastest implementation for conn: the in-memory
+// test network and (on Linux amd64/arm64) recvmmsg/sendmmsg over UDP
+// move whole batches per call; anything else falls back to
+// single-message I/O with identical semantics.
+func newBatchIO(conn net.PacketConn) batchIO {
+	if mc, ok := conn.(*memServerConn); ok {
+		return mc
+	}
+	if uc, ok := conn.(*net.UDPConn); ok {
+		if bio := newUDPBatchIO(uc); bio != nil {
+			return bio
+		}
+	}
+	return &genericIO{conn: conn}
+}
+
+// genericIO is the portable fallback: one datagram per syscall, no
+// shared scratch state, so one instance serves as reader and writer for
+// any number of goroutines.
+type genericIO struct{ conn net.PacketConn }
+
+func (g *genericIO) reader(int) batchReader { return g }
+func (g *genericIO) writer(int) batchWriter { return g }
+
+func (g *genericIO) readBatch(fs []*frame) (int, error) {
+	f := fs[0]
+	if f == nil {
+		f = getFrame()
+		fs[0] = f
+	}
+	n, addr, err := g.conn.ReadFrom(f.buf[:])
+	if err != nil {
+		return 0, err
+	}
+	f.n, f.addr = n, addr
+	return 1, nil
+}
+
+func (g *genericIO) writeBatch(fs []*frame) error {
+	var firstErr error
+	for _, f := range fs {
+		if _, err := g.conn.WriteTo(f.bytes(), wireAddr(f.addr)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

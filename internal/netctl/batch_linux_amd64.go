@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package netctl
+
+// Raw syscall numbers for the batch datagram syscalls. The frozen
+// syscall package predates sendmmsg(2) on some arches, so both are
+// pinned here from the kernel's x86_64 table.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package netctl
+
+// Raw syscall numbers for the batch datagram syscalls, from the
+// kernel's generic (asm-generic) table used by arm64.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

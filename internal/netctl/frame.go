@@ -1,0 +1,46 @@
+package netctl
+
+import (
+	"net"
+	"sync"
+
+	"mmx/internal/mac"
+)
+
+// frameCap sizes every pooled datagram buffer: the largest legal wire
+// frame plus one byte. Reading into MaxFrameLen+1 bytes means a
+// kernel-truncated datagram still shows up as "longer than MaxFrameLen"
+// and is counted malformed, instead of being silently clipped to a
+// length the codec would accept.
+const frameCap = mac.MaxFrameLen + 1
+
+// frame is one pooled datagram: payload bytes plus the peer address it
+// came from (ingress) or is bound for (egress). Frames recycle through
+// framePool — the dsp/pool discipline of fixed-class buffer reuse — so
+// the steady-state ingest/reply path allocates nothing per datagram.
+// Every frame is the same size class (frames are tiny), which keeps the
+// pool a single free list instead of a size ladder.
+type frame struct {
+	buf  [frameCap]byte
+	n    int
+	addr net.Addr
+}
+
+func (f *frame) bytes() []byte { return f.buf[:f.n] }
+
+// set copies b into the frame, clipping at frameCap exactly as a kernel
+// socket would truncate an oversized datagram, and stamps the address.
+func (f *frame) set(b []byte, addr net.Addr) {
+	f.n = copy(f.buf[:], b)
+	f.addr = addr
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func getFrame() *frame { return framePool.Get().(*frame) }
+
+func putFrame(f *frame) {
+	f.n = 0
+	f.addr = nil
+	framePool.Put(f)
+}

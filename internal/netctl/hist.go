@@ -1,0 +1,123 @@
+package netctl
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// LatencyHist is a fixed-bucket log-scale latency histogram: constant
+// memory and one atomic add per sample regardless of storm size. It
+// replaces the storm harness's store-every-sample percentile path,
+// whose memory and sort cost grew with the operation count — at
+// million-op storms that was hundreds of megabytes and a post-run sort,
+// all to read three quantiles.
+//
+// Buckets are geometric: histPerOctave buckets per factor of two
+// between histMinS and histMaxS, so a reported quantile is within one
+// bucket (a factor of 2^(1/histPerOctave) ≈ 9%) of the exact order
+// statistic — far inside the scheduling noise of a wall-clock storm.
+// Record is safe for concurrent use (the storm's client goroutines
+// share one histogram with no mutex); Quantile reads are approximate
+// while writers are active and exact once they stop.
+type LatencyHist struct {
+	counts  []atomic.Uint64
+	n       atomic.Uint64
+	maxBits atomic.Uint64 // float64 bits of the largest sample
+}
+
+const (
+	// histMinS is the first bucket's upper edge: 10 µs, well under a
+	// scheduler tick — everything faster is "instant" for a storm.
+	histMinS = 10e-6
+	// histMaxS caps the range: 1000 s, beyond any retry budget.
+	histMaxS = 1000.0
+	// histPerOctave is the resolution: 8 buckets per factor of two.
+	histPerOctave = 8
+)
+
+// histBuckets covers [histMinS, histMaxS] plus an underflow bucket at
+// index 0 and a clamp bucket at the top.
+var histBuckets = int(math.Ceil(math.Log2(histMaxS/histMinS)*histPerOctave)) + 2
+
+// NewLatencyHist returns an empty histogram. The one allocation is
+// here; Record never allocates.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{counts: make([]atomic.Uint64, histBuckets)}
+}
+
+// Record adds one latency sample in seconds.
+func (h *LatencyHist) Record(s float64) {
+	if math.IsNaN(s) {
+		return
+	}
+	idx := 0
+	if s > histMinS {
+		idx = int(math.Log2(s/histMinS)*histPerOctave) + 1
+		if idx >= len(h.counts) {
+			idx = len(h.counts) - 1
+		}
+	}
+	h.counts[idx].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= s {
+			return
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() int { return int(h.n.Load()) }
+
+// Max returns the largest recorded sample (exact, not bucketed).
+func (h *LatencyHist) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Quantile returns the approximate q-quantile (0 ≤ q ≤ 1) in seconds:
+// the geometric midpoint of the bucket holding the exact order
+// statistic, so the error is at most one bucket. The rank convention
+// matches the sorted-slice index int(q*(n-1)) the storm reported
+// historically.
+func (h *LatencyHist) Quantile(q float64) float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(n-1)) + 1
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return h.bucketValue(i)
+		}
+	}
+	return h.Max()
+}
+
+// bucketValue maps a bucket index to its representative latency: the
+// underflow bucket reports its upper edge, every other bucket its
+// geometric midpoint.
+func (h *LatencyHist) bucketValue(i int) float64 {
+	if i == 0 {
+		return histMinS
+	}
+	return histMinS * math.Pow(2, (float64(i)-0.5)/histPerOctave)
+}
+
+// Percentiles summarizes the histogram in the storm report's format.
+func (h *LatencyHist) Percentiles() Percentiles {
+	n := h.Count()
+	if n == 0 {
+		return Percentiles{}
+	}
+	return Percentiles{
+		N:   n,
+		P50: h.Quantile(0.50),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+		Max: h.Max(),
+	}
+}

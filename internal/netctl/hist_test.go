@@ -1,0 +1,128 @@
+package netctl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// sortedQuantile is the storm harness's historical percentile: sort all
+// samples, index at int(q*(n-1)). The histogram's contract is to agree
+// with this reference to within one bucket in log space.
+func sortedQuantile(samples []float64, q float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return s[int(q*float64(len(s)-1))]
+}
+
+// withinOneBucket checks |log2(got/want)| <= 1/histPerOctave plus a
+// hair of float slack — the bucket-midpoint guarantee Quantile makes.
+func withinOneBucket(got, want float64) bool {
+	if want <= histMinS {
+		// Sub-resolution values collapse into the underflow bucket.
+		return got <= histMinS*math.Pow(2, 1.0/histPerOctave)
+	}
+	return math.Abs(math.Log2(got/want)) <= 1.0/histPerOctave+1e-9
+}
+
+// TestLatencyHistGolden compares histogram quantiles against the sorted
+// reference across distributions shaped like real storm latencies.
+func TestLatencyHistGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() float64{
+		// RTT-like: tight cluster around 200 µs.
+		"tight": func() float64 { return 200e-6 * (0.8 + 0.4*rng.Float64()) },
+		// Retry-heavy: log-uniform over 50 µs .. 20 s.
+		"logUniform": func() float64 {
+			return 50e-6 * math.Pow(20.0/50e-6, rng.Float64())
+		},
+		// Heavy tail: mostly fast with a slow 1% straggler tail.
+		"heavyTail": func() float64 {
+			if rng.Float64() < 0.01 {
+				return 1.0 + 10*rng.Float64()
+			}
+			return 100e-6 + 400e-6*rng.Float64()
+		},
+	}
+	for name, draw := range dists {
+		h := NewLatencyHist()
+		samples := make([]float64, 200_000)
+		for i := range samples {
+			samples[i] = draw()
+			h.Record(samples[i])
+		}
+		if h.Count() != len(samples) {
+			t.Fatalf("%s: count %d want %d", name, h.Count(), len(samples))
+		}
+		for _, q := range []float64{0.50, 0.95, 0.99} {
+			got, want := h.Quantile(q), sortedQuantile(samples, q)
+			if !withinOneBucket(got, want) {
+				t.Errorf("%s: q%.2f = %.6g, sorted reference %.6g (off by more than one bucket)",
+					name, q, got, want)
+			}
+		}
+		if got, want := h.Max(), sortedQuantile(samples, 1.0); got != want {
+			t.Errorf("%s: max %.6g want exact %.6g", name, got, want)
+		}
+	}
+}
+
+// TestLatencyHistEdges pins the boundary behavior: empty, underflow,
+// overflow clamp, and NaN rejection.
+func TestLatencyHistEdges(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(math.NaN())
+	if h.Count() != 0 {
+		t.Fatal("NaN must not be recorded")
+	}
+	h.Record(1e-9) // below histMinS: underflow bucket
+	if got := h.Quantile(0.5); got != histMinS {
+		t.Fatalf("underflow quantile %.6g want %.6g", got, histMinS)
+	}
+	h2 := NewLatencyHist()
+	h2.Record(1e6) // past histMaxS: clamped into the top bucket
+	if got := h2.Quantile(0.5); got > 2*histMaxS {
+		t.Fatalf("overflow quantile %.6g escaped the clamp bucket", got)
+	}
+	if h2.Max() != 1e6 {
+		t.Fatalf("max must stay exact even when clamped: %g", h2.Max())
+	}
+}
+
+// TestLatencyHistConcurrent hammers one histogram from several
+// goroutines (as the storm's clients do) and checks nothing is lost.
+func TestLatencyHistConcurrent(t *testing.T) {
+	h := NewLatencyHist()
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(1e-4 * float64(w+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("lost samples: %d want %d", h.Count(), workers*per)
+	}
+	if h.Max() != 8e-4 {
+		t.Fatalf("max %g want 8e-4", h.Max())
+	}
+}
+
+// TestLatencyHistRecordAllocs: Record is on the storm's per-op path and
+// must not allocate.
+func TestLatencyHistRecordAllocs(t *testing.T) {
+	h := NewLatencyHist()
+	if avg := testing.AllocsPerRun(1000, func() { h.Record(3.3e-4) }); avg != 0 {
+		t.Fatalf("Record allocates %.1f per op, want 0", avg)
+	}
+}

@@ -25,6 +25,11 @@ type ServerConfig struct {
 	// dropped silently, so overloaded clients back off immediately
 	// rather than burn their reply timeout (default 1024).
 	QueueLen int
+	// Batch caps how many frames move per syscall (recvmmsg/sendmmsg
+	// on Linux) and per controller-mutex acquisition. 0 picks the
+	// default (32); 1 disables amortization — the single-message
+	// reference path the batching determinism test compares against.
+	Batch int
 	// ExpireEveryS is the lease-expiry sweep period; <= 0 disables the
 	// background sweeper (tests then drive ExpireNow by hand).
 	ExpireEveryS float64
@@ -42,6 +47,9 @@ func (c *ServerConfig) fillDefaults() {
 	if c.QueueLen <= 0 {
 		c.QueueLen = 1024
 	}
+	if c.Batch <= 0 {
+		c.Batch = 32
+	}
 }
 
 // ServerStats is a snapshot of the daemon's counters.
@@ -50,9 +58,10 @@ type ServerStats struct {
 	Handled uint64
 	// Shed counts frames rejected because their shard queue was full.
 	Shed uint64
-	// Malformed counts frames the codec refused (truncated, oversized,
-	// unknown type, bad fields) — dropped silently, as an AP cannot
-	// address a reply for a frame it cannot parse.
+	// Malformed counts frames the codec refused (truncated — including
+	// kernel-truncated datagrams longer than the read buffer —
+	// oversized, unknown type, bad fields). Dropped silently, as an AP
+	// cannot address a reply for a frame it cannot parse.
 	Malformed uint64
 	// Promotes counts unsolicited PromoteMsg pushes delivered.
 	Promotes uint64
@@ -60,39 +69,67 @@ type ServerStats struct {
 	Expired uint64
 }
 
-// inFrame is one datagram waiting in a shard queue.
-type inFrame struct {
-	b    []byte
-	addr net.Addr
+// Shard queue item kinds. itemFrame/itemPush/itemEvict arrive on the
+// queue; the remaining values are scratch states a worker writes into
+// its private batch while processing (handled → reply out, handled
+// release → reply out + address evicted, refused → drop).
+const (
+	itemFrame uint8 = iota
+	itemPush
+	itemEvict
+	itemReply
+	itemReplyEvict
+	itemDrop
+)
+
+// shardItem is one unit of shard work: an ingress frame to handle, a
+// promotion push to deliver (routed here because this shard owns the
+// target node's address), or an address eviction after lease expiry.
+type shardItem struct {
+	node uint32
+	f    *frame
+	kind uint8
 }
+
+// errForeignAddr reports a non-UDP address reaching a batched UDP
+// writer — impossible unless the routing above it regresses.
+var errForeignAddr = errors.New("netctl: foreign address on batched UDP socket")
 
 // Server serves a mac.Controller over a datagram socket, speaking the
 // existing little-endian wire format unchanged. The architecture is a
-// small pipeline: reader goroutines drain the socket and route each
-// frame by its node ID onto one of Workers bounded shard queues; shard
-// workers serialize controller access behind one mutex (the controller
-// is deliberately a single-threaded state machine — its books are the
-// ground truth the whole network converges on) and write replies back
-// without holding it. Lease expiry runs on a swappable Clock, and
-// unsolicited PromoteMsg pushes go to each node's last-seen address.
-// Stop drains: readers quiesce first, then every queued frame is
-// handled and its reply flushed before the socket closes.
+// small pipeline built for syscall and lock amortization: reader
+// goroutines pull whole batches off the socket (recvmmsg on Linux, one
+// datagram per call elsewhere) into pooled frames and route each frame
+// by node ID onto one of Workers bounded shard queues; each shard
+// worker drains a batch from its queue and handles all of it under a
+// single controller-mutex acquisition (the controller is deliberately a
+// single-threaded state machine — its books are the ground truth the
+// whole network converges on), then flushes the replies with one
+// batched write after unlocking. Each worker privately owns the
+// last-seen-address table for its shard's nodes — no lock — and
+// promotion pushes are routed through the owning shard's queue. The
+// steady-state path recycles every buffer it touches: zero heap
+// allocations per handled frame. Lease expiry runs on a swappable
+// Clock. Stop drains: readers quiesce first, then every queued frame
+// is handled and its reply flushed before the socket closes.
 type Server struct {
 	cfg   ServerConfig
 	clock Clock
 
-	mu    sync.Mutex // guards ctrl and addrs
-	ctrl  *mac.Controller
-	addrs map[uint32]net.Addr
+	mu   sync.Mutex // guards ctrl — the single-threaded state machine
+	ctrl *mac.Controller
 
 	conn      net.PacketConn
-	shards    []chan inFrame
+	bio       batchIO
+	shards    []chan shardItem
 	readersWG sync.WaitGroup
 	workersWG sync.WaitGroup
 	sweeper   chan struct{}
+	sweeperWG sync.WaitGroup
 	closing   atomic.Bool
 	started   bool
 
+	addrCount                                   atomic.Int64
 	handled, shed, malformed, promotes, expired atomic.Uint64
 }
 
@@ -104,7 +141,6 @@ func NewServer(ctrl *mac.Controller, clock Clock, cfg ServerConfig) *Server {
 		cfg:   cfg,
 		clock: clock,
 		ctrl:  ctrl,
-		addrs: make(map[uint32]net.Addr),
 	}
 }
 
@@ -113,9 +149,10 @@ func NewServer(ctrl *mac.Controller, clock Clock, cfg ServerConfig) *Server {
 func (s *Server) Serve(conn net.PacketConn) {
 	s.conn = conn
 	s.started = true
-	s.shards = make([]chan inFrame, s.cfg.Workers)
+	s.bio = newBatchIO(conn)
+	s.shards = make([]chan shardItem, s.cfg.Workers)
 	for i := range s.shards {
-		s.shards[i] = make(chan inFrame, s.cfg.QueueLen)
+		s.shards[i] = make(chan shardItem, s.cfg.QueueLen)
 	}
 	s.workersWG.Add(len(s.shards))
 	for _, shard := range s.shards {
@@ -127,6 +164,7 @@ func (s *Server) Serve(conn net.PacketConn) {
 	}
 	if s.cfg.ExpireEveryS > 0 {
 		s.sweeper = make(chan struct{})
+		s.sweeperWG.Add(1)
 		go s.sweepLoop()
 	}
 }
@@ -139,9 +177,11 @@ func (s *Server) logf(format string, args ...any) {
 
 func (s *Server) readLoop() {
 	defer s.readersWG.Done()
-	buf := make([]byte, 2048)
+	r := s.bio.reader(s.cfg.Batch)
+	fs := make([]*frame, s.cfg.Batch)
+	var shedBuf []byte
 	for {
-		n, addr, err := s.conn.ReadFrom(buf)
+		n, err := r.readBatch(fs)
 		if err != nil {
 			if s.closing.Load() || errors.Is(err, net.ErrClosed) {
 				return
@@ -153,79 +193,206 @@ func (s *Server) readLoop() {
 			s.logf("read: %v", err)
 			continue
 		}
-		if n > mac.MaxFrameLen {
-			s.malformed.Add(1)
-			continue
-		}
-		_, node, seq, ok := mac.PeekHeader(buf[:n])
-		if !ok {
-			s.malformed.Add(1)
-			continue
-		}
-		fr := inFrame{b: append([]byte(nil), buf[:n]...), addr: addr}
-		shard := s.shards[int(node)%len(s.shards)]
-		select {
-		case shard <- fr:
-		default:
-			// Bounded ingress: shed explicitly. The sentinel rides the
-			// normal reply match, so the client sees "AP busy" now
-			// instead of a timeout later.
-			s.shed.Add(1)
-			if raw, err := mac.Marshal(ShedReply(node, seq)); err == nil {
-				s.conn.WriteTo(raw, addr) //nolint:errcheck // shed reply is best-effort
+		for i := 0; i < n; i++ {
+			f := fs[i]
+			fs[i] = nil
+			if f.n > mac.MaxFrameLen || f.addr == nil {
+				// Oversized covers kernel truncation too: the read
+				// buffer is MaxFrameLen+1, so a clipped datagram still
+				// reads as too long instead of slipping past the check.
+				s.malformed.Add(1)
+				putFrame(f)
+				continue
+			}
+			_, node, seq, ok := mac.PeekHeader(f.bytes())
+			if !ok {
+				s.malformed.Add(1)
+				putFrame(f)
+				continue
+			}
+			shard := s.shards[int(node)%len(s.shards)]
+			select {
+			case shard <- shardItem{node: node, f: f, kind: itemFrame}:
+			default:
+				// Bounded ingress: shed explicitly. The sentinel rides
+				// the normal reply match, so the client sees "AP busy"
+				// now instead of a timeout later.
+				s.shed.Add(1)
+				shedBuf = ShedReply(node, seq).AppendTo(shedBuf[:0])
+				s.conn.WriteTo(shedBuf, wireAddr(f.addr)) //nolint:errcheck // shed reply is best-effort
+				putFrame(f)
 			}
 		}
 	}
 }
 
-func (s *Server) workerLoop(shard chan inFrame) {
+// workerLoop owns one shard: its queue, and the last-seen-address map
+// for every node that hashes here. Batches amortize the controller
+// mutex — one Lock/Unlock handles up to Batch frames — and the replies
+// leave in one batched write after the unlock.
+func (s *Server) workerLoop(shard chan shardItem) {
 	defer s.workersWG.Done()
-	for fr := range shard {
-		now := s.clock.NowS()
-		_, node, _, _ := mac.PeekHeader(fr.b)
-		s.mu.Lock()
-		reply, err := s.ctrl.HandleAt(fr.b, now)
-		notes := s.ctrl.TakeNotifications()
-		if err == nil {
-			s.addrs[node] = fr.addr
+	w := s.bio.writer(s.cfg.Batch)
+	addrs := make(map[uint32]net.Addr)
+	batch := make([]shardItem, 0, s.cfg.Batch)
+	replies := make([]*frame, 0, s.cfg.Batch)
+	for {
+		it, ok := <-shard
+		if !ok {
+			return
 		}
-		s.mu.Unlock()
-		if err != nil {
-			// Parsed enough to route, but the controller's codec or
-			// field validation refused it: no reply is addressable.
-			s.malformed.Add(1)
-			continue
+		batch = append(batch[:0], it)
+	fill:
+		for len(batch) < cap(batch) {
+			select {
+			case more, open := <-shard:
+				if !open {
+					break fill // process what we have; next recv exits
+				}
+				batch = append(batch, more)
+			default:
+				break fill
+			}
 		}
-		s.handled.Add(1)
-		if len(reply) > 0 {
-			s.conn.WriteTo(reply, fr.addr) //nolint:errcheck // client retry covers a lost reply
-		}
-		s.push(notes)
+		replies = s.processBatch(w, addrs, batch, replies)
 	}
 }
 
-// push delivers unsolicited controller→node frames (PromoteMsg) to each
-// target's last-seen address. A push for a node never heard from is
-// dropped — its next renew ack carries the same books.
-func (s *Server) push(notes [][]byte) {
-	for _, note := range notes {
-		_, node, _, ok := mac.PeekHeader(note)
-		if !ok {
+// processBatch handles one pulled batch: controller work under a single
+// mutex acquisition, then address bookkeeping, push routing, and one
+// batched reply write outside it. Returns the reply scratch slice for
+// reuse.
+func (s *Server) processBatch(w batchWriter, addrs map[uint32]net.Addr, batch []shardItem, replies []*frame) []*frame {
+	now := s.clock.NowS()
+	var notes [][]byte
+	s.mu.Lock()
+	for i := range batch {
+		it := &batch[i]
+		if it.kind != itemFrame {
 			continue
 		}
-		s.mu.Lock()
-		addr := s.addrs[node]
-		s.mu.Unlock()
-		if addr == nil {
+		f := it.f
+		isRelease := mac.MsgType(f.buf[0]) == mac.MsgRelease
+		// The reply encodes into the request's own buffer:
+		// HandleAtAppend fully decodes raw before appending to dst, so
+		// aliasing dst over raw is safe and keeps the path copy-free.
+		out, err := s.ctrl.HandleAtAppend(f.buf[:0], f.bytes(), now)
+		if err != nil {
+			it.kind = itemDrop
 			continue
 		}
-		if _, err := s.conn.WriteTo(note, addr); err == nil {
-			s.promotes.Add(1)
+		f.n = len(out)
+		if isRelease {
+			it.kind = itemReplyEvict
+		} else {
+			it.kind = itemReply
 		}
 	}
+	notes = s.ctrl.TakeNotifications()
+	s.mu.Unlock()
+
+	var handled, malformed, promotes uint64
+	replies = replies[:0]
+	for i := range batch {
+		it := &batch[i]
+		switch it.kind {
+		case itemReply:
+			handled++
+			// Addresses are interned (one pointer per peer), so the
+			// steady-state case — same node, same address — is a read
+			// plus an equality check, not a map write per frame.
+			if prev, ok := addrs[it.node]; !ok || prev != it.f.addr {
+				addrs[it.node] = it.f.addr
+				if !ok {
+					s.addrCount.Add(1)
+				}
+			}
+			replies = append(replies, it.f)
+		case itemReplyEvict:
+			// A released (or releasing-again) node is leaving: drop its
+			// address so a churning fleet can't grow the table without
+			// bound. The ack still goes to the frame's own source addr.
+			handled++
+			prev := len(addrs)
+			delete(addrs, it.node)
+			if len(addrs) != prev {
+				s.addrCount.Add(-1)
+			}
+			replies = append(replies, it.f)
+		case itemDrop:
+			malformed++
+			putFrame(it.f)
+		case itemPush:
+			addr := addrs[it.node]
+			if addr == nil {
+				// Never heard from (or already evicted): drop — its
+				// next renew ack carries the same books.
+				putFrame(it.f)
+				continue
+			}
+			it.f.addr = addr
+			replies = append(replies, it.f)
+			promotes++
+		case itemEvict:
+			prev := len(addrs)
+			delete(addrs, it.node)
+			if len(addrs) != prev {
+				s.addrCount.Add(-1)
+			}
+		}
+	}
+	if handled > 0 {
+		s.handled.Add(handled)
+	}
+	if malformed > 0 {
+		s.malformed.Add(malformed)
+	}
+	if promotes > 0 {
+		s.promotes.Add(promotes)
+	}
+	for _, note := range notes {
+		s.routeNote(note)
+	}
+	if len(replies) > 0 {
+		w.writeBatch(replies) //nolint:errcheck // client retry covers a lost reply
+		for _, f := range replies {
+			putFrame(f)
+		}
+	}
+	return replies[:0]
+}
+
+// routeNote forwards an unsolicited controller→node frame (PromoteMsg)
+// to the shard that owns the target node's address. Best-effort: a full
+// queue or a draining server drops the push — the node's next renew ack
+// carries the same books.
+func (s *Server) routeNote(note []byte) {
+	_, node, _, ok := mac.PeekHeader(note)
+	if !ok || s.closing.Load() {
+		return
+	}
+	f := getFrame()
+	f.set(note, nil)
+	select {
+	case s.shards[int(node)%len(s.shards)] <- shardItem{node: node, f: f, kind: itemPush}:
+	default:
+		putFrame(f)
+	}
+}
+
+// routeEvict tells the owning shard to forget a node's address after
+// its lease expired. Blocking: unlike a push, a lost eviction is a
+// leak, and the only caller (the sweeper) can afford to wait out a
+// momentarily full queue.
+func (s *Server) routeEvict(node uint32) {
+	if s.closing.Load() {
+		return
+	}
+	s.shards[int(node)%len(s.shards)] <- shardItem{node: node, kind: itemEvict}
 }
 
 func (s *Server) sweepLoop() {
+	defer s.sweeperWG.Done()
 	t := time.NewTicker(secondsToDuration(s.cfg.ExpireEveryS))
 	defer t.Stop()
 	for {
@@ -239,8 +406,9 @@ func (s *Server) sweepLoop() {
 }
 
 // ExpireNow runs one lease-expiry sweep at the server clock's current
-// time and delivers any resulting promotion pushes. It returns the IDs
-// expired. Tests with a FakeClock call this directly.
+// time, queues the resulting promotion pushes and address evictions to
+// their owning shards, and returns the IDs expired. Tests with a
+// FakeClock call this directly.
 func (s *Server) ExpireNow() []uint32 {
 	s.mu.Lock()
 	expired := s.ctrl.ExpireLeases(s.clock.NowS())
@@ -250,13 +418,18 @@ func (s *Server) ExpireNow() []uint32 {
 		s.expired.Add(uint64(n))
 		s.logf("expired %d leases", n)
 	}
-	s.push(notes)
+	for _, node := range expired {
+		s.routeEvict(node)
+	}
+	for _, note := range notes {
+		s.routeNote(note)
+	}
 	return expired
 }
 
-// Stop drains and shuts the pipeline down: readers stop accepting,
-// every already-queued frame is handled and its reply flushed, the
-// sweeper halts, and the socket closes. Safe to call once.
+// Stop drains and shuts the pipeline down: readers stop accepting, the
+// sweeper halts, every already-queued frame is handled and its reply
+// flushed, and the socket closes. Safe to call once.
 func (s *Server) Stop() {
 	if !s.started {
 		return
@@ -265,14 +438,17 @@ func (s *Server) Stop() {
 	// Wake blocked readers; they observe closing and exit.
 	s.conn.SetReadDeadline(time.Now()) //nolint:errcheck // mem conns never fail this
 	s.readersWG.Wait()
+	// The sweeper joins before the shard queues close so it can never
+	// route an eviction into a closed channel.
+	if s.sweeper != nil {
+		close(s.sweeper)
+		s.sweeperWG.Wait()
+	}
 	for _, shard := range s.shards {
 		close(shard)
 	}
 	s.workersWG.Wait() // drain-and-flush
-	if s.sweeper != nil {
-		close(s.sweeper)
-	}
-	s.conn.Close() //nolint:errcheck // shutdown path
+	s.conn.Close()     //nolint:errcheck // shutdown path
 }
 
 // Stats snapshots the daemon's counters.
@@ -284,6 +460,13 @@ func (s *Server) Stats() ServerStats {
 		Promotes:  s.promotes.Load(),
 		Expired:   s.expired.Load(),
 	}
+}
+
+// AddrCount returns how many nodes currently have a last-seen address
+// across all shards — the table the address-eviction discipline keeps
+// bounded under churn.
+func (s *Server) AddrCount() int {
+	return int(s.addrCount.Load())
 }
 
 // LeaseCount returns the number of live leases on the controller.

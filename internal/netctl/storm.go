@@ -2,7 +2,6 @@ package netctl
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -60,21 +59,6 @@ func (p Percentiles) String() string {
 		p.P50*1e3, p.P95*1e3, p.P99*1e3, p.Max*1e3, p.N)
 }
 
-// computePercentiles sorts lat in place and reads the quantiles.
-func computePercentiles(lat []float64) Percentiles {
-	if len(lat) == 0 {
-		return Percentiles{}
-	}
-	sort.Float64s(lat)
-	q := func(f float64) float64 {
-		i := int(f * float64(len(lat)-1))
-		return lat[i]
-	}
-	return Percentiles{
-		N: len(lat), P50: q(0.50), P95: q(0.95), P99: q(0.99), Max: lat[len(lat)-1],
-	}
-}
-
 // StormResult aggregates a storm run.
 type StormResult struct {
 	// Joined counts clients whose handshake eventually succeeded;
@@ -93,8 +77,10 @@ type StormResult struct {
 	Sheds, Promotes int
 	// TransportErrs counts clients that never got a transport.
 	TransportErrs int
-	// Join and Renew are the latency populations of successful
-	// handshakes and keepalives.
+	// Join and Renew summarize the latency populations of successful
+	// handshakes and keepalives, read from fixed-memory log-scale
+	// histograms (see LatencyHist): each percentile is within one
+	// bucket (≈9%) of the exact order statistic.
 	Join, Renew Percentiles
 	// Ops is the count of completed operations (joins + keepalives +
 	// releases); WallS the storm's wall-clock duration, so Ops/WallS is
@@ -121,6 +107,9 @@ func (r StormResult) Converged() bool {
 }
 
 // clientOutcome is one lifecycle's contribution, merged after the run.
+// Latencies are not carried here: lifecycles record them straight into
+// the storm's shared histograms, so a million-op run holds two
+// fixed-size histograms instead of a million float64s.
 type clientOutcome struct {
 	joined, joinFailed, transportErr bool
 	joinRetries                      int
@@ -128,8 +117,6 @@ type clientOutcome struct {
 	renewOK, resync, rejoin          int
 	renewFailed, renewLost           int
 	sheds, promotes                  int
-	joinLat                          []float64
-	renewLat                         []float64
 }
 
 // RunStorm executes the storm and aggregates the fleet's outcomes.
@@ -144,18 +131,18 @@ func RunStorm(cfg StormConfig) StormResult {
 		cfg.Retry = DefaultRetrier()
 	}
 	outcomes := make([]clientOutcome, cfg.Clients)
+	joinHist, renewHist := NewLatencyHist(), NewLatencyHist()
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
 		go func(i int) {
 			defer wg.Done()
-			outcomes[i] = runLifecycle(cfg, cfg.StartID+uint32(i), uint64(i))
+			outcomes[i] = runLifecycle(cfg, cfg.StartID+uint32(i), uint64(i), joinHist, renewHist)
 		}(i)
 	}
 	wg.Wait()
 	res := StormResult{WallS: time.Since(start).Seconds()}
-	var joinLat, renewLat []float64
 	for i := range outcomes {
 		o := &outcomes[i]
 		if o.transportErr {
@@ -181,18 +168,16 @@ func RunStorm(cfg StormConfig) StormResult {
 		res.RenewLost += o.renewLost
 		res.Sheds += o.sheds
 		res.Promotes += o.promotes
-		joinLat = append(joinLat, o.joinLat...)
-		renewLat = append(renewLat, o.renewLat...)
 	}
-	res.Ops = len(joinLat) + len(renewLat) + res.Released
-	res.Join = computePercentiles(joinLat)
-	res.Renew = computePercentiles(renewLat)
+	res.Ops = joinHist.Count() + renewHist.Count() + res.Released
+	res.Join = joinHist.Percentiles()
+	res.Renew = renewHist.Percentiles()
 	return res
 }
 
 // runLifecycle is one client's storm script: ramp in, join until the
 // deadline, keep the lease alive, release, leave.
-func runLifecycle(cfg StormConfig, id uint32, ord uint64) clientOutcome {
+func runLifecycle(cfg StormConfig, id uint32, ord uint64, joinHist, renewHist *LatencyHist) clientOutcome {
 	var o clientOutcome
 	rng := stats.NewRNG(cfg.Seed ^ (ord+1)*0xA24BAED4963EE407)
 	if cfg.RampS > 0 {
@@ -212,7 +197,7 @@ func runLifecycle(cfg StormConfig, id uint32, ord uint64) clientOutcome {
 		lat, err := c.Join()
 		if err == nil {
 			o.joined = true
-			o.joinLat = append(o.joinLat, lat)
+			joinHist.Record(lat)
 			break
 		}
 		if time.Now().After(deadline) {
@@ -235,10 +220,10 @@ func runLifecycle(cfg StormConfig, id uint32, ord uint64) clientOutcome {
 		switch outcome {
 		case RenewOK:
 			o.renewOK++
-			o.renewLat = append(o.renewLat, lat)
+			renewHist.Record(lat)
 		case RenewResynced:
 			o.resync++
-			o.renewLat = append(o.renewLat, lat)
+			renewHist.Record(lat)
 		case RenewRejoined:
 			o.rejoin++
 		case RenewFailed:
