@@ -9,9 +9,11 @@ BENCH_PATTERN  ?= OTAMFrameRoundtrip|NetworkSINREvaluation|Fig11BERCDF
 BENCH_BASELINE ?= BENCH_phy.json
 BENCH_AP_PATTERN  ?= APWidebandDemux
 BENCH_AP_BASELINE ?= BENCH_ap.json
-# The network scaling curve (sparse coupling core at 1k/10k/100k nodes)
-# runs each size once — an iteration is a whole churning Run, seconds
-# long, so -benchtime=1x keeps the gate affordable.
+# The network scaling curve (sparse coupling core at 1k/10k/100k/1M
+# nodes, plus blocker-heavy variants that gate region-scoped blockage
+# invalidation against its stale-everything fallback) runs each size
+# once — an iteration is a whole churning Run, seconds long, so
+# -benchtime=1x keeps the gate affordable.
 BENCH_NET_PATTERN  ?= NetworkScale
 BENCH_NET_BASELINE ?= BENCH_net.json
 # The control-plane hot path (batched ingest, pooled frames, append

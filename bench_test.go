@@ -327,20 +327,32 @@ func BenchmarkAblationFilter(b *testing.B) {
 // BenchmarkNetworkScale is the billions-of-things scaling gate: an
 // end-to-end churning deployment — joins, a traffic-serving Run with
 // scheduled leave/join churn, and a final full SINR evaluation — at 1k,
-// 10k and 100k nodes. Node density is constant (the field side grows as
-// √n), so the audible neighborhood around the AP stays bounded while
-// the membership grows by 100×; the sparse coupling core (CouplingAuto
+// 10k, 100k and 1M nodes. Node density is constant (the field side grows
+// as √n), so the audible neighborhood around the AP stays bounded while
+// the membership grows by 1000×; the sparse coupling core (CouplingAuto
 // crosses over below the 1k rung) is what keeps the whole run
-// near-linear. Committed baseline: BENCH_net.json, gated in CI by
-// mmx-benchstat like the PHY and AP numbers.
+// near-linear. The blockers=8 variants isolate the environment-tick cost
+// under walking people — region-scoped invalidation re-evaluates only
+// the nodes the walkers' swept corridors can reach, and the /stale
+// variant pins the stale-everything baseline it is measured against.
+// Committed baseline: BENCH_net.json, gated in CI by mmx-benchstat like
+// the PHY and AP numbers.
 func BenchmarkNetworkScale(b *testing.B) {
-	for _, size := range []int{1000, 10000, 100000} {
+	for _, size := range []int{1000, 10000, 100000, 1000000} {
 		b.Run(fmt.Sprintf("nodes=%d", size), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				benchNetworkScale(b, size)
 			}
 		})
 	}
+	for _, size := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("nodes=%d/blockers=8", size), func(b *testing.B) {
+			benchNetworkBlockers(b, size, true)
+		})
+	}
+	b.Run("nodes=100000/blockers=8/stale", func(b *testing.B) {
+		benchNetworkBlockers(b, 100000, false)
+	})
 }
 
 func benchNetworkScale(b *testing.B, size int) {
@@ -381,6 +393,41 @@ func benchNetworkScale(b *testing.B, size int) {
 	}
 	if reports := nw.Reports(); len(reports) != size {
 		b.Fatalf("membership drifted: %d nodes", len(reports))
+	}
+}
+
+// benchNetworkBlockers times the blocker-heavy steady state: the fleet
+// joins untimed, eight people walk in orbits 50–200 m from the AP —
+// right across the sight lines, where every node→AP path converges — and
+// the timed section is a traffic-serving Run whose 40 env ticks each
+// move the crowd. With region invalidation each tick re-evaluates only
+// the nodes whose propagation corridors a swept capsule crosses;
+// region=false pins the stale-everything baseline (every tick
+// re-evaluates the whole fleet) the win is measured against.
+func benchNetworkBlockers(b *testing.B, size int, region bool) {
+	side := 6000 * math.Sqrt(float64(size)/1000)
+	env := NewEnvironment(side, side, 11)
+	nw := env.NewNetwork(Pose{X: side / 2, Y: side / 2}, 13)
+	nw.SetCouplingMode(CouplingSparse)
+	nw.SetRegionInvalidation(region)
+	nw.SetLeaseTTL(0, 0)
+	rng := stats.NewRNG(99)
+	for i := 0; i < size; i++ {
+		pose := Facing(rng.Uniform(1, side-1), rng.Uniform(1, side-1), side/2, side/2)
+		if _, err := nw.Join(uint32(i+1), pose, 1e6, TelemetryTraffic(5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for k := 0; k < 8; k++ {
+		ang := 2 * math.Pi * float64(k) / 8
+		r := 50 + 150*float64(k)/7
+		env.AddBlocker(side/2+r*math.Cos(ang), side/2+r*math.Sin(ang),
+			-1.5*math.Sin(ang), 1.5*math.Cos(ang))
+	}
+	nw.Reports() // settle the post-join picture untimed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Run(2, 0.05, 0)
 	}
 }
 

@@ -41,6 +41,7 @@ func main() {
 	reboot := flag.String("reboot", "", "comma-separated node reboot events, each ID@seconds")
 	apRestart := flag.String("ap-restart", "", "AP restart as start@downFor seconds")
 	coupling := flag.String("coupling", "auto", "interference bookkeeping: auto (dense below the crossover size, sparse above), dense, or sparse")
+	regionInval := flag.Bool("region-invalidation", true, "region-scoped blockage invalidation in the sparse core (false restores stale-everything env ticks)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
@@ -93,6 +94,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -coupling %q (want auto, dense or sparse)\n", *coupling)
 		os.Exit(2)
 	}
+	nw.SetRegionInvalidation(*regionInval)
 	nw.SetLeaseTTL(*leaseTTL, *leaseTTL*0.3)
 	if *drop > 0 || *dup > 0 || *trunc > 0 {
 		nw.SetLossyControl(*seed+2, *drop, *dup, *trunc)

@@ -70,6 +70,28 @@ func (s Segment) DistanceTo(p Vec2) float64 {
 	return s.PointAt(t).Dist(p)
 }
 
+// DistanceToSegment returns the minimum distance between the two
+// segments: 0 when they cross, otherwise the closest pair involves an
+// endpoint, so the minimum over the four endpoint-to-segment distances.
+// Degenerate (zero-length) and parallel inputs fall through to the
+// endpoint cases, which remain exact.
+func (s Segment) DistanceToSegment(o Segment) float64 {
+	if t, u, ok := s.Intersect(o); ok && t >= 0 && t <= 1 && u >= 0 && u <= 1 {
+		return 0
+	}
+	d := s.DistanceTo(o.A)
+	if v := s.DistanceTo(o.B); v < d {
+		d = v
+	}
+	if v := o.DistanceTo(s.A); v < d {
+		d = v
+	}
+	if v := o.DistanceTo(s.B); v < d {
+		d = v
+	}
+	return d
+}
+
 // Intersect returns the parameter t along s where it crosses the infinite
 // line through o, and the parameter u along o, solving
 // s.A + t·(s.B−s.A) = o.A + u·(o.B−o.A). ok is false for parallel lines.

@@ -108,10 +108,76 @@ type Environment struct {
 	// different heights: the node's patches have a 65° elevation beam
 	// (§9.1) and the AP dipole 62° (§8.2). Zero disables the factor.
 	TxElevationHPBW, RxElevationHPBW float64
-	// epoch counts Step calls that actually moved something. Consumers
+	// epoch counts scene changes that may have altered propagation: a
+	// Step that actually moved a blocker, or an AddBlocker. Consumers
 	// caching link evaluations (the sparse coupling core) compare it to
-	// decide whether blocker motion stales their cache.
+	// decide whether blocker motion stales their cache; SweptSince tells
+	// them *where* the changes happened so they can invalidate by region
+	// instead of wholesale.
 	epoch uint64
+	// swept logs the conservative footprint of every blocker change,
+	// tagged with the epoch it happened in, so cache consumers can
+	// invalidate only the region a change can reach. The log is bounded:
+	// sweptFloor is the newest epoch the log no longer covers, and
+	// SweptSince refuses spans reaching at or below it.
+	swept      []sweptEntry
+	sweptFloor uint64
+}
+
+// SweptRegion is the conservative footprint of one blocker change within
+// one epoch: the capsule the blocker's disc swept moving from Seg.A to
+// Seg.B (degenerate — both endpoints equal — for a blocker that just
+// appeared). Blockage is a pure function of the blocker's endpoint
+// positions, so any propagation leg whose blockage indicator can have
+// flipped passes within Radius of this capsule's spine; everything
+// farther away provably kept its evaluation.
+type SweptRegion struct {
+	Seg    Segment
+	Radius float64
+}
+
+type sweptEntry struct {
+	epoch  uint64
+	region SweptRegion
+}
+
+// maxSweptEntries bounds the swept log. At one entry per moving blocker
+// per Step, 4096 covers hundreds of epochs of a dense crowd between two
+// consumer syncs; a consumer that falls further behind gets ok=false
+// from SweptSince and invalidates everything, which is always sound.
+const maxSweptEntries = 4096
+
+// logSwept appends one region under the current epoch, evicting the
+// oldest whole epoch (and raising sweptFloor past it) when the log is
+// full.
+func (e *Environment) logSwept(r SweptRegion) {
+	if len(e.swept) >= maxSweptEntries {
+		first := e.swept[0].epoch
+		drop := 0
+		for drop < len(e.swept) && e.swept[drop].epoch == first {
+			drop++
+		}
+		e.swept = append(e.swept[:0], e.swept[drop:]...)
+		e.sweptFloor = first
+	}
+	e.swept = append(e.swept, sweptEntry{epoch: e.epoch, region: r})
+}
+
+// SweptSince appends to buf the swept regions of every blocker change in
+// epochs (from, Epoch()] and reports whether the bounded log still
+// covers that whole span. ok=false — the span reaches past the log's
+// retention — means the caller cannot know where changes happened and
+// must treat the entire scene as changed.
+func (e *Environment) SweptSince(from uint64, buf []SweptRegion) ([]SweptRegion, bool) {
+	if from < e.sweptFloor {
+		return buf, false
+	}
+	for i := range e.swept {
+		if e.swept[i].epoch > from {
+			buf = append(buf, e.swept[i].region)
+		}
+	}
+	return buf, true
 }
 
 // Epoch returns a counter that advances whenever blocker motion may have
@@ -129,19 +195,28 @@ func NewEnvironment(room *Room, freqHz float64) *Environment {
 	}
 }
 
-// AddBlocker places an obstacle in the scene.
+// AddBlocker places an obstacle in the scene. The scene epoch advances
+// and the blocker's footprint is logged as a degenerate swept region, so
+// region-invalidating consumers re-check exactly the paths the newcomer
+// can shadow.
 func (e *Environment) AddBlocker(b *Blocker) {
 	e.Blockers = append(e.Blockers, b)
 	e.epoch++
+	e.logSwept(SweptRegion{Seg: Segment{A: b.Pos, B: b.Pos}, Radius: b.Radius})
 }
 
 // Step advances all blockers by dt seconds, bouncing them off the walls so
-// "people walking around" (§9.2) stay inside the room.
+// "people walking around" (§9.2) stay inside the room. The epoch advances
+// only when some blocker's position actually changed — a static crowd
+// (zero velocities, or walkers pinned against a wall) costs cache
+// consumers nothing — and each moved blocker logs the capsule its disc
+// swept. Only the endpoint positions matter for blockage, so the straight
+// old→new capsule is a sound footprint even when the wall clamp bent the
+// actual trajectory.
 func (e *Environment) Step(dt float64) {
-	if len(e.Blockers) > 0 {
-		e.epoch++
-	}
+	moved := false
 	for _, b := range e.Blockers {
+		old := b.Pos
 		b.Pos = b.Pos.Add(b.Vel.Scale(dt))
 		if b.Pos.X < b.Radius {
 			b.Pos.X = b.Radius
@@ -159,6 +234,14 @@ func (e *Environment) Step(dt float64) {
 			b.Pos.Y = e.Room.Height - b.Radius
 			b.Vel.Y = -math.Abs(b.Vel.Y)
 		}
+		if b.Pos == old {
+			continue
+		}
+		if !moved {
+			moved = true
+			e.epoch++
+		}
+		e.logSwept(SweptRegion{Seg: Segment{A: old, B: b.Pos}, Radius: b.Radius})
 	}
 }
 

@@ -1,0 +1,97 @@
+package channel
+
+import (
+	"testing"
+
+	"mmx/internal/stats"
+	"mmx/internal/units"
+)
+
+// TestStepStaticCrowdKeepsEpoch regression-tests the static-crowd bug:
+// Step used to bump the scene epoch unconditionally, staling every cached
+// link evaluation even when no blocker could possibly have moved. A crowd
+// of zero-velocity blockers — and a walker whose clamped step leaves it
+// exactly where it was, pinned against a wall — must keep Epoch() fixed
+// and emit no swept regions.
+func TestStepStaticCrowdKeepsEpoch(t *testing.T) {
+	env := NewEnvironment(NewRoom(6, 4, stats.NewRNG(1)), units.ISM24GHzCenter)
+	env.AddBlocker(&Blocker{Pos: Vec2{X: 3, Y: 2}, Radius: 0.3, LossDB: 12})
+	env.AddBlocker(&Blocker{Pos: Vec2{X: 4, Y: 1}, Radius: 0.25, LossDB: 10})
+	ep := env.Epoch()
+	for i := 0; i < 5; i++ {
+		env.Step(0.1)
+	}
+	if env.Epoch() != ep {
+		t.Fatalf("static crowd bumped epoch: %d -> %d", ep, env.Epoch())
+	}
+	if regions, ok := env.SweptSince(ep, nil); !ok || len(regions) != 0 {
+		t.Fatalf("static crowd logged swept regions: ok=%v regions=%v", ok, regions)
+	}
+
+	// A walker pressed against the left wall, still pushing into it: the
+	// clamp returns it to exactly its old position, so this Step changes
+	// nothing observable and must not bump either. (The clamp flips its
+	// velocity, so it genuinely moves — and must bump — on the next Step.)
+	pinned := &Blocker{Pos: Vec2{X: 0.3, Y: 2}, Radius: 0.3, LossDB: 12, Vel: Vec2{X: -1, Y: 0}}
+	env.AddBlocker(pinned)
+	ep = env.Epoch()
+	env.Step(0.1)
+	if env.Epoch() != ep {
+		t.Fatalf("wall-pinned walker bumped epoch: %d -> %d", ep, env.Epoch())
+	}
+	env.Step(0.1)
+	if env.Epoch() != ep+1 {
+		t.Fatalf("bounced walker should bump exactly once: %d -> %d", ep, env.Epoch())
+	}
+	regions, ok := env.SweptSince(ep, nil)
+	if !ok || len(regions) != 1 {
+		t.Fatalf("bounced walker: want 1 swept region, got ok=%v %v", ok, regions)
+	}
+	want := SweptRegion{Seg: Segment{A: Vec2{X: 0.3, Y: 2}, B: pinned.Pos}, Radius: 0.3}
+	if regions[0] != want {
+		t.Fatalf("swept capsule = %+v, want %+v", regions[0], want)
+	}
+}
+
+// TestAddBlockerBumpsAndLogsFootprint pins AddBlocker's contract: the
+// epoch advances and the newcomer's footprint is logged as a degenerate
+// capsule so region-invalidating consumers re-check the paths it shadows.
+func TestAddBlockerBumpsAndLogsFootprint(t *testing.T) {
+	env := NewEnvironment(NewRoom(6, 4, stats.NewRNG(2)), units.ISM24GHzCenter)
+	ep := env.Epoch()
+	env.AddBlocker(&Blocker{Pos: Vec2{X: 2, Y: 3}, Radius: 0.4, LossDB: 15})
+	if env.Epoch() != ep+1 {
+		t.Fatalf("AddBlocker bumped epoch %d -> %d, want +1", ep, env.Epoch())
+	}
+	regions, ok := env.SweptSince(ep, nil)
+	if !ok || len(regions) != 1 {
+		t.Fatalf("AddBlocker: want 1 region, got ok=%v %v", ok, regions)
+	}
+	want := SweptRegion{Seg: Segment{A: Vec2{X: 2, Y: 3}, B: Vec2{X: 2, Y: 3}}, Radius: 0.4}
+	if regions[0] != want {
+		t.Fatalf("footprint = %+v, want %+v", regions[0], want)
+	}
+}
+
+// TestSweptLogOverflowFallsBack drives the bounded swept log past its
+// capacity and checks both sides of the retention contract: a consumer
+// whose span reaches below the floor gets ok=false (it must invalidate
+// everything), while a consumer synced within retention still gets exact
+// coverage.
+func TestSweptLogOverflowFallsBack(t *testing.T) {
+	env := NewEnvironment(NewRoom(60, 40, stats.NewRNG(3)), units.ISM24GHzCenter)
+	ep0 := env.Epoch()
+	env.AddBlocker(&Blocker{Pos: Vec2{X: 30, Y: 20}, Radius: 0.3, LossDB: 12, Vel: Vec2{X: 1, Y: 0.7}})
+	for i := 0; i < maxSweptEntries+8; i++ {
+		env.Step(0.0005) // small steps so the walker never parks against a wall
+	}
+	if _, ok := env.SweptSince(ep0, nil); ok {
+		t.Fatalf("log of %d entries claims to cover %d epochs", maxSweptEntries, env.Epoch()-ep0)
+	}
+	epRecent := env.Epoch()
+	env.Step(0.0005)
+	regions, ok := env.SweptSince(epRecent, nil)
+	if !ok || len(regions) != 1 {
+		t.Fatalf("recent span lost coverage: ok=%v regions=%d", ok, len(regions))
+	}
+}

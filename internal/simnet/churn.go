@@ -92,6 +92,7 @@ func (rs *runState) joinNow(id uint32, pose channel.Pose, demandBps float64, tra
 		h := rs.handle(id)
 		h.present = true
 		h.joinedAt = rs.sim.Now()
+		rs.hcache = append(rs.hcache, h) // registerNode put n at the tail
 		rs.refresh()
 		rs.scheduleFrames(n)
 		if nw.OnMembership != nil {
@@ -117,6 +118,7 @@ func (rs *runState) leaveNow(id uint32) {
 	}
 	removedAt := leaver.idx
 	nw.unregisterNodeAt(removedAt)
+	rs.hcache = append(rs.hcache[:removedAt], rs.hcache[removedAt+1:]...)
 	nw.couplingRemoveNode(leaver, removedAt)
 	if !leaver.Down {
 		leaver.seq++

@@ -109,6 +109,9 @@ type spNode struct {
 	sumDirty  bool
 	evalStale bool
 	queued    bool
+	// powerMoved records, within one settle, that the eval pass changed
+	// the node's received power — its victims must re-sum.
+	powerMoved bool
 }
 
 // chanState is the registry entry for one channel center: its occupants
@@ -139,17 +142,31 @@ type sparseState struct {
 	nx, ny       int
 	cellW, cellH float64
 	cells        [][]*Node
+	// bbMin/bbMax bound every node position ever inserted, unioned with
+	// the room rectangle. cellIndex clamps out-of-room positions into
+	// edge cells, so the region-invalidation descent (region.go) extends
+	// the boundary cells' rectangles to this box — tight when everyone
+	// is inside the room, and never shrunk, so it stays sound for nodes
+	// that have left.
+	bbMin, bbMax channel.Vec2
 
 	chans    map[float64]*chanState
 	chanList []*chanState
 
 	dirty    []*Node
 	envEpoch uint64
+	// allStale marks that the current dirty set is the whole membership
+	// (stale-everything fallback): the eval pass can skip the per-source
+	// victim propagation, every victim is already queued.
+	allStale bool
 
 	// scratch, reused across calls
-	evalScratch []*Node
-	bvec        []float64
-	tblScratch  []complex128
+	evalScratch     []*Node
+	bvec            []float64
+	tblScratch      []complex128
+	sweptScratch    []channel.SweptRegion
+	corridorScratch []corridor
+	wallScratch     []channel.Wall
 }
 
 // enterSparse builds the sparse core for the current membership and
@@ -187,6 +204,8 @@ func newSparseState(nw *Network) *sparseState {
 		cells:    make([][]*Node, nx*ny),
 		chans:    make(map[float64]*chanState),
 		envEpoch: nw.Env.Epoch(),
+		bbMin:    channel.Vec2{},
+		bbMax:    channel.Vec2{X: room.Width, Y: room.Height},
 	}
 	return s
 }
@@ -304,7 +323,12 @@ func (s *sparseState) cellIndex(p channel.Vec2) int {
 }
 
 func (s *sparseState) gridInsert(n *Node) {
-	c := s.cellIndex(n.Pose.Pos)
+	p := n.Pose.Pos
+	s.bbMin.X = math.Min(s.bbMin.X, p.X)
+	s.bbMin.Y = math.Min(s.bbMin.Y, p.Y)
+	s.bbMax.X = math.Max(s.bbMax.X, p.X)
+	s.bbMax.Y = math.Max(s.bbMax.Y, p.Y)
+	c := s.cellIndex(p)
 	n.sp.cell = c
 	n.sp.cellSlot = len(s.cells[c])
 	s.cells[c] = append(s.cells[c], n)
@@ -661,28 +685,68 @@ func (s *sparseState) powerChanged(nw *Network, n *Node) {
 
 // --- evaluation ---
 
-// settle brings every dirty node's cached report up to date: pass 1
-// re-runs the link evaluations (the ray-tracing hot path) for nodes
-// whose geometry or environment changed, pass 2 re-sums interference
-// rows and rebuilds reports. Both passes fan out over the worker pool;
-// each node writes only its own state, so results are order-independent.
-// Blocker motion (detected via the environment epoch) stales everything —
-// the same O(n) an environment step costs the dense path; with no
-// blockers an event settles in O(dirty degree).
-func (s *sparseState) settle(nw *Network) {
-	if ep := nw.Env.Epoch(); ep != s.envEpoch {
-		s.envEpoch = ep
-		s.dirty = s.dirty[:0]
-		for _, n := range nw.Nodes {
-			n.sp.evalStale = true
-			n.sp.sumDirty = true
-			n.sp.queued = true
-			s.dirty = append(s.dirty, n)
+// syncEnv folds environment changes since the last settle into the
+// dirty set. With region invalidation on (the default) each blocker
+// change's swept capsule is mapped through the grid corridors
+// (region.go) and only the nodes whose paths it can reach go stale —
+// everyone else keeps their cached evaluation bit-identically. The
+// stale-everything fallback covers the toggle-off baseline and a
+// consumer that outlived the environment's bounded swept log.
+func (s *sparseState) syncEnv(nw *Network) {
+	ep := nw.Env.Epoch()
+	if ep == s.envEpoch {
+		return
+	}
+	from := s.envEpoch
+	s.envEpoch = ep
+	if !nw.DisableRegionInvalidation {
+		regions, ok := nw.Env.SweptSince(from, s.sweptScratch[:0])
+		s.sweptScratch = regions[:0]
+		if ok {
+			for _, r := range regions {
+				s.regionStale(nw, r)
+			}
+			return
 		}
 	}
+	s.staleAll(nw)
+}
+
+// staleAll marks the whole membership for re-evaluation.
+func (s *sparseState) staleAll(nw *Network) {
+	s.dirty = s.dirty[:0]
+	for _, n := range nw.Nodes {
+		n.sp.evalStale = true
+		n.sp.sumDirty = true
+		n.sp.queued = true
+		s.dirty = append(s.dirty, n)
+	}
+	s.allStale = true
+}
+
+// settle brings every dirty node's cached report up to date: the eval
+// pass re-runs the link evaluations (the ray-tracing hot path) for
+// nodes whose geometry or environment changed, the finish pass re-sums
+// interference rows and rebuilds reports. Both passes fan out over the
+// worker pool; each node writes only its own state, so results are
+// order-independent. An event settles in O(dirty degree); an
+// environment step in O(nodes the blockers' swept regions can affect).
+func (s *sparseState) settle(nw *Network) {
+	s.syncEnv(nw)
 	if len(s.dirty) == 0 {
 		return
 	}
+	s.runEvalPass(nw)
+	s.finishDirty(nw)
+}
+
+// runEvalPass re-evaluates the stale members of the dirty set in
+// parallel, then (serially, so the dirty list grows deterministically at
+// any worker count) queues the victims of every node whose received
+// power actually changed — their interference rows are stale too. The
+// propagation sweep is skipped when the whole membership is already
+// queued.
+func (s *sparseState) runEvalPass(nw *Network) {
 	work := s.evalScratch[:0]
 	for _, n := range s.dirty {
 		if nw.nodeIdx[n.ID] != n {
@@ -695,15 +759,32 @@ func (s *sparseState) settle(nw *Network) {
 	nw.forEachNode(len(work), func(i int) {
 		n := work[i]
 		n.sp.evalStale = false
+		oldPower := n.sp.power
 		if n.Down {
 			n.sp.power = 0
-			return
+		} else {
+			n.sp.eval = n.Link.EvaluateWithClass()
+			g := math.Max(cmplx.Abs(n.sp.eval.G0), cmplx.Abs(n.sp.eval.G1))
+			n.sp.power = g * g
 		}
-		n.sp.eval = n.Link.EvaluateWithClass()
-		g := math.Max(cmplx.Abs(n.sp.eval.G0), cmplx.Abs(n.sp.eval.G1))
-		n.sp.power = g * g
+		n.sp.powerMoved = n.sp.power != oldPower
 	})
+	if !s.allStale {
+		for _, n := range work {
+			if !n.sp.powerMoved {
+				continue
+			}
+			for i := range n.sp.out {
+				s.markDirty(n.sp.out[i].dst)
+			}
+		}
+	}
 	s.evalScratch = work[:0]
+}
+
+// finishDirty re-sums and rebuilds the report of every queued node, then
+// resets the dirty set.
+func (s *sparseState) finishDirty(nw *Network) {
 	dirty := s.dirty
 	nw.forEachNode(len(dirty), func(i int) {
 		n := dirty[i]
@@ -718,6 +799,7 @@ func (s *sparseState) settle(nw *Network) {
 		s.finishNode(n)
 	})
 	s.dirty = dirty[:0]
+	s.allStale = false
 }
 
 // finishNode re-sums one victim's interference row from scratch and
@@ -756,11 +838,15 @@ func (s *sparseState) finishNode(n *Node) {
 	}
 }
 
-// evaluate is EvaluateSINR's sparse backend: settle, then assemble the
-// report slice in membership order (same layout as the dense path).
-func (s *sparseState) evaluate(nw *Network) []Report {
+// evaluateInto is EvaluateSINRInto's sparse backend: settle, then
+// assemble the report slice in membership order (same layout as the
+// dense path), reusing out's capacity when it suffices.
+func (s *sparseState) evaluateInto(nw *Network, out []Report) []Report {
 	s.settle(nw)
-	out := make([]Report, len(nw.Nodes))
+	if cap(out) < len(nw.Nodes) {
+		out = make([]Report, len(nw.Nodes))
+	}
+	out = out[:len(nw.Nodes)]
 	for i, n := range nw.Nodes {
 		out[i] = n.sp.rep
 	}

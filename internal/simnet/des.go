@@ -219,6 +219,10 @@ type runState struct {
 
 	handles map[uint32]*nodeHandle
 	order   []uint32 // IDs in first-seen order: RunStats.PerNode layout
+	// hcache mirrors nw.Nodes: hcache[n.idx] is n's handle, maintained on
+	// every membership change, so the per-tick observation loop is O(1)
+	// pointer chases instead of a map lookup per node.
+	hcache []*nodeHandle
 
 	reports []Report        // cached EvaluateSINR output, parallel to nw.Nodes
 	pending map[uint32]bool // IDs with a handshake done, activation queued
@@ -246,7 +250,7 @@ func (rs *runState) refresh() {
 		s.settle(rs.nw)
 		return
 	}
-	rs.reports = rs.nw.EvaluateSINR()
+	rs.reports = rs.nw.EvaluateSINRInto(rs.reports)
 }
 
 // reportOf returns node n's current report: the node-cached one in
@@ -260,21 +264,83 @@ func (rs *runState) reportOf(n *Node) *Report {
 
 // observe samples the current reports into per-node stats.
 func (rs *runState) observe() {
-	for _, n := range rs.nw.Nodes {
+	for i, n := range rs.nw.Nodes {
 		if n.Down {
 			continue // a dead radio has no SINR to sample
 		}
 		r := rs.reportOf(n)
-		st := &rs.handles[n.ID].st
-		st.sinrAccum += r.SINRdB
-		st.SINRSamples++
-		if r.SINRdB < st.MinSINRdB {
-			st.MinSINRdB = r.SINRdB
-		}
-		if r.SINRdB < rs.outageSINRdB {
-			st.outages++
-		}
+		rs.sample(rs.hcache[i], r.SINRdB)
 	}
+}
+
+// sample folds one SINR observation into a node's stats.
+func (rs *runState) sample(h *nodeHandle, sinrDB float64) {
+	st := &h.st
+	st.sinrAccum += sinrDB
+	st.SINRSamples++
+	if sinrDB < st.MinSINRdB {
+		st.MinSINRdB = sinrDB
+	}
+	if sinrDB < rs.outageSINRdB {
+		st.outages++
+	}
+}
+
+// envRefresh is the per-environment-step pipeline: refresh the
+// interference picture after the blockers moved, re-adapt every live
+// node's PHY rate to it, and sample the SINR observations.
+//
+// With the sparse core live the three stages fuse into the settle
+// passes: syncEnv marks only the nodes the blockers' swept regions can
+// have touched, the eval pass re-traces exactly those, and one parallel
+// pass over the membership finishes the queued nodes, re-adapts rates
+// and accumulates the observation samples — non-dirty nodes' samples
+// come from their unchanged cached reports. Every write in the fused
+// pass lands in per-node state (the node itself or its stats handle),
+// so a fixed-seed run is byte-identical at any worker count, and the
+// serial per-node tail the dense path still pays is gone.
+func (rs *runState) envRefresh() {
+	nw := rs.nw
+	s := nw.sparse
+	if s == nil {
+		rs.refresh()
+		// In-run rate adaptation: the reports hold each node's SINR in
+		// its configured channel bandwidth, exactly what the ladder walk
+		// wants. Rate 0 = outage until a later step clears it.
+		for _, n := range nw.Nodes {
+			if n.Down {
+				continue
+			}
+			n.RateBps = nw.cappedRate(n, core.RateForSNR(rs.reportOf(n).SINRdB, n.Link.Cfg.BandwidthHz, 1e-6))
+		}
+		rs.observe()
+		return
+	}
+	s.syncEnv(nw)
+	if len(s.dirty) > 0 {
+		s.runEvalPass(nw)
+	}
+	nodes := nw.Nodes
+	hcache := rs.hcache
+	nw.forEachNode(len(nodes), func(i int) {
+		n := nodes[i]
+		if n.sp.queued {
+			n.sp.queued = false
+			if n.sp.sumDirty {
+				n.sp.sumDirty = false
+				s.finishNode(n)
+			}
+		}
+		if n.Down {
+			return
+		}
+		n.RateBps = nw.cappedRate(n, core.RateForSNR(n.sp.rep.SINRdB, n.Link.Cfg.BandwidthHz, 1e-6))
+		rs.sample(hcache[i], n.sp.rep.SINRdB)
+	})
+	// Dirty entries no longer in the membership were already reset by
+	// removeNode; the fused pass cleared everyone else's flags.
+	s.dirty = s.dirty[:0]
+	s.allStale = false
 }
 
 // maxBacklogS bounds per-node queueing: frames older than this are
@@ -388,8 +454,11 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 	defer func() { nw.run = nil }()
 	nw.Controller.LeaseTTL = nw.Control.LeaseTTLS
 
-	for _, n := range nw.Nodes {
-		rs.handle(n.ID).present = true
+	rs.hcache = make([]*nodeHandle, len(nw.Nodes))
+	for i, n := range nw.Nodes {
+		h := rs.handle(n.ID)
+		h.present = true
+		rs.hcache[i] = h
 	}
 	rs.refresh()
 	rs.observe()
@@ -397,17 +466,7 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 	var envTick func()
 	envTick = func() {
 		nw.Env.Step(envStep)
-		rs.refresh()
-		// In-run rate adaptation: the reports hold each node's SINR in
-		// its configured channel bandwidth, exactly what the ladder walk
-		// wants. Rate 0 = outage until a later step clears it.
-		for _, n := range nw.Nodes {
-			if n.Down {
-				continue
-			}
-			n.RateBps = nw.cappedRate(n, core.RateForSNR(rs.reportOf(n).SINRdB, n.Link.Cfg.BandwidthHz, 1e-6))
-		}
-		rs.observe()
+		rs.envRefresh()
 		sim.After(envStep, envTick)
 	}
 	if envStep > 0 {

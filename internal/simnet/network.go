@@ -126,8 +126,20 @@ type Network struct {
 	// coupled power is provably below noise·10^(CouplingCutoffDB/10) is
 	// never stored. 0 (the default) cuts exactly at the noise floor.
 	CouplingCutoffDB float64
+	// DisableRegionInvalidation turns off the sparse core's region-scoped
+	// blockage invalidation: every environment epoch change falls back to
+	// the stale-everything protocol (the whole membership re-evaluated per
+	// tick). The results are identical either way — the toggle exists so
+	// benchmarks and equivalence tests can measure the region path against
+	// its own baseline.
+	DisableRegionInvalidation bool
 	// sparse is the live sparse coupling state, nil while dense.
 	sparse *sparseState
+	// evalScratch and powerScratch are the dense evaluation path's
+	// retained intermediates, so steady-state EvaluateSINRInto calls stop
+	// allocating them per call.
+	evalScratch  []core.Evaluation
+	powerScratch []float64
 	// run points at the live engine state while Run executes; membership
 	// changes issued mid-run route through it onto the event heap.
 	run *runState
@@ -620,13 +632,27 @@ func (nw *Network) forEachNode(n int, fn func(i int)) {
 // is served from the cache in linear form — rebuilt only after
 // membership, pose or assignment changes, not per call.
 func (nw *Network) EvaluateSINR() []Report {
+	return nw.EvaluateSINRInto(nil)
+}
+
+// EvaluateSINRInto is EvaluateSINR with caller-owned report storage:
+// out's capacity is reused when it fits the membership (pass nil to
+// allocate fresh). The dense path's evaluation and power intermediates
+// are retained on the network between calls, so a steady-state caller —
+// Run's per-tick refresh — contributes nothing to the allocation
+// footprint.
+func (nw *Network) EvaluateSINRInto(out []Report) []Report {
 	if nw.sparse != nil {
-		return nw.sparse.evaluate(nw)
+		return nw.sparse.evaluateInto(nw, out)
 	}
 	n := len(nw.Nodes)
 	nw.ensureCoupling()
-	evals := make([]core.Evaluation, n)
-	powers := make([]float64, n) // peak received power, watts
+	if cap(nw.evalScratch) < n {
+		nw.evalScratch = make([]core.Evaluation, n)
+		nw.powerScratch = make([]float64, n)
+	}
+	evals := nw.evalScratch[:n]
+	powers := nw.powerScratch[:n] // peak received power, watts
 	nw.forEachNode(n, func(i int) {
 		if nw.Nodes[i].Down {
 			// Crashed: no carrier on the air, so no interference
@@ -638,7 +664,10 @@ func (nw *Network) EvaluateSINR() []Report {
 		g := math.Max(cmplx.Abs(evals[i].G0), cmplx.Abs(evals[i].G1))
 		powers[i] = g * g
 	})
-	out := make([]Report, n)
+	if cap(out) < n {
+		out = make([]Report, n)
+	}
+	out = out[:n]
 	nw.forEachNode(n, func(i int) {
 		node := nw.Nodes[i]
 		if node.Down {
