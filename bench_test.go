@@ -345,6 +345,11 @@ func BenchmarkNetworkScale(b *testing.B) {
 			}
 		})
 	}
+	b.Run("nodes=100000/aps=16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchNetworkScaleAPs(b, 100000, 16)
+		}
+	})
 	for _, size := range []int{10000, 100000} {
 		b.Run(fmt.Sprintf("nodes=%d/blockers=8", size), func(b *testing.B) {
 			benchNetworkBlockers(b, size, true)
@@ -380,6 +385,73 @@ func benchNetworkScale(b *testing.B, size int) {
 	}
 	// Membership churn through the run: leaves spread across the whole
 	// ID range (owners and sharers alike), each paired with a fresh join.
+	const churn = 100
+	for k := 0; k < churn; k++ {
+		at := 0.02 + 4.5*float64(k)/churn
+		nw.ScheduleLeave(at, uint32(1+k*(size/churn)))
+		nw.ScheduleJoin(at+0.005, id, place(), 1e6, TelemetryTraffic(5))
+		id++
+	}
+	st := nw.Run(5, 1, 0)
+	if st.Joins != churn || st.Leaves != churn {
+		b.Fatalf("churn incomplete: %d joins, %d leaves", st.Joins, st.Leaves)
+	}
+	if reports := nw.Reports(); len(reports) != size {
+		b.Fatalf("membership drifted: %d nodes", len(reports))
+	}
+}
+
+// benchNetworkScaleAPs is the multi-AP rung: the same field and density
+// as benchNetworkScale, but served by a √naps × √naps grid of APs with a
+// factor-4 frequency-reuse plan and hysteresis roaming armed. Each join
+// associates with its nearest AP, so the sparse core runs naps shards
+// with cross-shard co-channel edges — the number this rung pins is the
+// sharded settle plus the per-tick roam screen over the whole fleet.
+func benchNetworkScaleAPs(b *testing.B, size, naps int) {
+	side := 6000 * math.Sqrt(float64(size)/1000)
+	g := int(math.Sqrt(float64(naps)))
+	if g*g != naps {
+		b.Fatalf("naps %d is not a square grid", naps)
+	}
+	apAt := func(k int) (x, y float64) {
+		return (float64(k%g) + 0.5) * side / float64(g),
+			(float64(k/g) + 0.5) * side / float64(g)
+	}
+	env := NewEnvironment(side, side, 11)
+	x0, y0 := apAt(0)
+	nw := env.NewNetwork(Facing(x0, y0, side/2, side/2), 13)
+	for k := 1; k < naps; k++ {
+		x, y := apAt(k)
+		if _, err := nw.AddAP(Facing(x, y, side/2, side/2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := nw.PlanReuse(4); err != nil {
+		b.Fatal(err)
+	}
+	nw.SetRoamingPolicy(&RoamPolicy{HysteresisDB: 3})
+	nw.SetCouplingMode(CouplingSparse)
+	nw.SetLeaseTTL(0, 0)
+	rng := stats.NewRNG(99)
+	place := func() Pose {
+		x, y := rng.Uniform(1, side-1), rng.Uniform(1, side-1)
+		bx, by := apAt(0)
+		bd := math.Hypot(x-bx, y-by)
+		for k := 1; k < naps; k++ {
+			ax, ay := apAt(k)
+			if d := math.Hypot(x-ax, y-ay); d < bd {
+				bx, by, bd = ax, ay, d
+			}
+		}
+		return Facing(x, y, bx, by)
+	}
+	id := uint32(1)
+	for i := 0; i < size; i++ {
+		if _, err := nw.Join(id, place(), 1e6, TelemetryTraffic(5)); err != nil {
+			b.Fatal(err)
+		}
+		id++
+	}
 	const churn = 100
 	for k := 0; k < churn; k++ {
 		at := 0.02 + 4.5*float64(k)/churn

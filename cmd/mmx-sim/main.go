@@ -8,6 +8,7 @@
 //	mmx-sim -room 12x8 -nodes 20 -rate 8 -seed 3
 //	mmx-sim -nodes 8 -drop 0.3 -dup 0.15 -crash 2@0.5 -reboot 2@1.5 -ap-restart 2@0.25
 //	mmx-sim -nodes 20 -churn-rate 4 -churn-dwell 1.5 -validate
+//	mmx-sim -aps 4 -reuse 2 -roam-hysteresis-db 3 -nodes 16 -churn-rate 5 -validate
 package main
 
 import (
@@ -25,6 +26,9 @@ import (
 
 func main() {
 	roomSpec := flag.String("room", "6x4", "room size WxH in meters")
+	aps := flag.Int("aps", 1, "number of access points, spread across the room")
+	reuse := flag.Int("reuse", 1, "frequency-reuse factor: partition the band into this many slices across neighboring APs")
+	roamHystDB := flag.Float64("roam-hysteresis-db", 0, "enable roaming between APs when a candidate beats the serving SNR by this many dB (0 disables)")
 	nodes := flag.Int("nodes", 5, "number of camera nodes")
 	rateMbps := flag.Float64("rate", 8, "per-camera application rate (Mbps)")
 	blockers := flag.Int("blockers", 1, "number of walking people")
@@ -83,6 +87,40 @@ func main() {
 	env := mmx.NewEnvironment(w, h, *seed)
 	apPose := mmx.Pose{X: 0.3, Y: h / 2, FacingRad: 0}
 	nw := env.NewNetwork(apPose, *seed+1)
+	// Additional APs spread evenly along the room's centerline (AP 0
+	// keeps the legacy corner pose, so -aps 1 runs are byte-identical to
+	// builds that predate the flag).
+	apPoses := []mmx.Pose{apPose}
+	for i := 1; i < *aps; i++ {
+		x := 0.3 + (w-0.6)*float64(i)/float64(*aps-1)
+		p := mmx.Pose{X: x, Y: h / 2, FacingRad: 0}
+		if _, err := nw.AddAP(p); err != nil {
+			fmt.Fprintf(os.Stderr, "add AP %d: %v\n", i, err)
+			os.Exit(2)
+		}
+		apPoses = append(apPoses, p)
+	}
+	// nearestAP returns the pose of the AP a node at (x, y) will
+	// associate with, so placements can aim the node's beams at it.
+	nearestAP := func(x, y float64) mmx.Pose {
+		best := apPoses[0]
+		bestD := math.Hypot(x-best.X, y-best.Y)
+		for _, p := range apPoses[1:] {
+			if d := math.Hypot(x-p.X, y-p.Y); d < bestD {
+				best, bestD = p, d
+			}
+		}
+		return best
+	}
+	if *reuse > 1 {
+		if err := nw.PlanReuse(*reuse); err != nil {
+			fmt.Fprintf(os.Stderr, "plan reuse: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *roamHystDB > 0 {
+		nw.SetRoamingPolicy(&mmx.RoamPolicy{HysteresisDB: *roamHystDB})
+	}
 	switch strings.ToLower(*coupling) {
 	case "auto":
 		nw.SetCouplingMode(mmx.CouplingAuto)
@@ -108,11 +146,15 @@ func main() {
 	}
 	if *apRestart != "" {
 		var start, downFor float64
-		if _, err := fmt.Sscanf(*apRestart, "%f@%f", &start, &downFor); err != nil {
-			fmt.Fprintf(os.Stderr, "bad -ap-restart %q (want start@downFor)\n", *apRestart)
+		var apIdx int
+		if _, err := fmt.Sscanf(*apRestart, "%f@%f@%d", &start, &downFor, &apIdx); err == nil {
+			plan.RestartAPAt(start, downFor, apIdx)
+		} else if _, err := fmt.Sscanf(*apRestart, "%f@%f", &start, &downFor); err == nil {
+			plan.RestartAP(start, downFor)
+		} else {
+			fmt.Fprintf(os.Stderr, "bad -ap-restart %q (want start@downFor or start@downFor@ap)\n", *apRestart)
 			os.Exit(2)
 		}
-		plan.RestartAP(start, downFor)
 	}
 	if len(plan.Events) > 0 {
 		nw.SetFaultPlan(plan)
@@ -123,7 +165,8 @@ func main() {
 		frac := float64(i) / float64(*nodes)
 		x := 1 + (w-1.8)*frac
 		y := 0.5 + (h-1.0)*math.Abs(math.Sin(frac*math.Pi*3))
-		pose := mmx.Facing(x, y, apPose.X, apPose.Y)
+		home := nearestAP(x, y)
+		pose := mmx.Facing(x, y, home.X, home.Y)
 		pose.FacingRad += (frac - 0.5) * math.Pi / 3
 		// Request 25% headroom over the application rate so the PHY
 		// never saturates on jitter.
@@ -136,8 +179,12 @@ func main() {
 		if info.SharedViaSDM {
 			mode = "SDM"
 		}
-		fmt.Printf("node %2d at (%.1f, %.1f): %s channel %.1f MHz wide at %.4f GHz\n",
-			info.ID, x, y, mode, info.WidthHz/1e6, info.ChannelHz/1e9)
+		via := ""
+		if *aps > 1 {
+			via = fmt.Sprintf(" via AP %d", info.AP)
+		}
+		fmt.Printf("node %2d at (%.1f, %.1f): %s channel %.1f MHz wide at %.4f GHz%s\n",
+			info.ID, x, y, mode, info.WidthHz/1e6, info.ChannelHz/1e9, via)
 	}
 	for i := 0; i < *blockers; i++ {
 		env.AddBlocker(1.5+float64(i), h/2, 0.6, 0.4*float64(i+1))
@@ -160,7 +207,8 @@ func main() {
 			frac := churnRNG.Float64()
 			x := 1 + (w-1.8)*frac
 			y := 0.5 + (h-1.0)*churnRNG.Float64()
-			nw.ScheduleJoin(at, id, mmx.Facing(x, y, apPose.X, apPose.Y),
+			home := nearestAP(x, y)
+			nw.ScheduleJoin(at, id, mmx.Facing(x, y, home.X, home.Y),
 				*rateMbps*1.25e6, mmx.CameraTraffic(*rateMbps))
 			nw.ScheduleLeave(at+churnRNG.ExpFloat64()**churnDwell, id)
 			planned++
@@ -196,6 +244,13 @@ func main() {
 	if stats.Joins+stats.Leaves+stats.JoinsFailed > 0 {
 		fmt.Printf("churn: %d joins (%d failed), %d leaves, %d members at end\n",
 			stats.Joins, stats.JoinsFailed, stats.Leaves, len(nw.Reports()))
+	}
+	if len(stats.PerAP) > 1 {
+		fmt.Printf("roaming: %d roams (%d failed)\n", stats.Roams, stats.RoamsFailed)
+		for _, a := range stats.PerAP {
+			fmt.Printf("  AP %d: %d joins, %d leaves, %d roams in, %d roams out, %d lease expiries, %d members at end\n",
+				a.AP, a.Joins, a.Leaves, a.RoamsIn, a.RoamsOut, a.LeaseExpiries, a.Members)
+		}
 	}
 	c := stats.Control
 	if c != (mmx.ControlStats{}) {

@@ -143,6 +143,7 @@ type Event struct {
 	Kind    EventKind
 	NodeID  uint32  // NodeCrash, NodeReboot
 	DownFor float64 // APRestart outage window
+	AP      int     // APRestart target in a multi-AP network (0 = first AP)
 }
 
 // Plan is a deterministic schedule of in-run faults. Build it with the
@@ -167,8 +168,17 @@ func (p *Plan) Reboot(at float64, nodeID uint32) *Plan {
 }
 
 // RestartAP schedules an AP outage of downFor seconds starting at at.
+// In a multi-AP network it targets the first AP; use RestartAPAt for
+// the others.
 func (p *Plan) RestartAP(at, downFor float64) *Plan {
 	p.Events = append(p.Events, Event{At: at, Kind: APRestart, DownFor: downFor})
+	return p
+}
+
+// RestartAPAt schedules an outage of downFor seconds for the AP at
+// index ap (as returned by AddAP; the construction-time AP is 0).
+func (p *Plan) RestartAPAt(at, downFor float64, ap int) *Plan {
+	p.Events = append(p.Events, Event{At: at, Kind: APRestart, DownFor: downFor, AP: ap})
 	return p
 }
 

@@ -42,6 +42,24 @@ func Unlicensed60GHz() Band {
 	return Band{LowHz: units.Band60GHzLow, HighHz: units.Band60GHzHigh}
 }
 
+// Partition splits the band into k contiguous, disjoint, equal-width
+// slices for frequency reuse across neighboring APs. The slices tile
+// the band exactly: slice i is [Low+i*w, Low+(i+1)*w] with the last
+// high edge pinned to HighHz so float rounding cannot leak spectrum.
+// k <= 0 is treated as 1.
+func (b Band) Partition(k int) []Band {
+	if k <= 1 {
+		return []Band{b}
+	}
+	out := make([]Band, k)
+	w := b.Width() / float64(k)
+	for i := 0; i < k; i++ {
+		out[i] = Band{LowHz: b.LowHz + float64(i)*w, HighHz: b.LowHz + float64(i+1)*w}
+	}
+	out[k-1].HighHz = b.HighHz
+	return out
+}
+
 // OOKSpectralEfficiency is the bits/s per Hz of channel an mmX node
 // achieves: on-off keying needs roughly one Hz per bit per second, and the
 // allocator adds guard margin on top.

@@ -607,6 +607,19 @@ func (c *Controller) HoldsLease(nodeID uint32) bool {
 	return ok
 }
 
+// Leaseholders returns every node ID with a live lease (owners and SDM
+// sharers alike), sorted ascending. It is the multi-AP audit's view of
+// the books: walking each AP's leaseholders costs O(total leases)
+// instead of probing every node against every AP.
+func (c *Controller) Leaseholders() []uint32 {
+	out := make([]uint32, 0, len(c.renewedAt))
+	for id := range c.renewedAt {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SharerChannel reports whether nodeID is a registered SDM sharer and, if
 // so, the center frequency of the channel it shares.
 func (c *Controller) SharerChannel(nodeID uint32) (float64, bool) {

@@ -74,8 +74,10 @@ func (rs *runState) joinNow(id uint32, pose channel.Pose, demandBps float64, tra
 		return nil, fmt.Errorf("%w: duplicate node ID %d", ErrJoinFailed, id)
 	}
 	n := &Node{ID: id, Pose: pose, Demand: demandBps, Traffic: traffic}
-	n.SDMHarmonic = nw.SDM.BestHarmonic(nw.AP.AngleTo(pose.Pos))
-	took, err := nw.handshake(n, rs.ctrlNow())
+	n.AP = nw.selectAP(pose.Pos)
+	ap := n.AP
+	n.SDMHarmonic = ap.SDM.BestHarmonic(ap.Pose.AngleTo(pose.Pos))
+	took, err := nw.handshake(n, rs.nowAt(ap))
 	if err != nil {
 		rs.joinsFailed++
 		return nil, err
@@ -83,12 +85,14 @@ func (rs *runState) joinNow(id uint32, pose channel.Pose, demandBps float64, tra
 	rs.pending[id] = true
 	rs.sim.After(took, func() {
 		delete(rs.pending, id)
-		n.Link = core.NewLink(nw.Env, pose, nw.AP)
+		n.Link = core.NewLink(nw.Env, pose, ap.Pose)
 		n.Link.Beams = nw.NodeBeams
 		nw.applyAssignment(n)
 		nw.registerNode(n)
 		nw.couplingAddNode()
 		rs.joins++
+		rs.apStats[ap.idx].Joins++
+		rs.apOpen(id, ap.idx, rs.sim.Now())
 		h := rs.handle(id)
 		h.present = true
 		h.joinedAt = rs.sim.Now()
@@ -116,20 +120,24 @@ func (rs *runState) leaveNow(id uint32) {
 	if leaver == nil {
 		return
 	}
+	ap := nw.hostAP(leaver)
 	removedAt := leaver.idx
 	nw.unregisterNodeAt(removedAt)
 	rs.hcache = append(rs.hcache[:removedAt], rs.hcache[removedAt+1:]...)
 	nw.couplingRemoveNode(leaver, removedAt)
 	if !leaver.Down {
 		leaver.seq++
-		nw.transact(mac.ReleaseMsg{NodeID: id, Seq: leaver.seq}, rs.ctrlNow()) //nolint:errcheck
+		nw.transact(ap, mac.ReleaseMsg{NodeID: id, Seq: leaver.seq}, rs.nowAt(ap)) //nolint:errcheck
 	} else {
 		raw, _ := mac.Marshal(mac.ReleaseMsg{NodeID: id})
-		nw.Controller.Handle(raw) //nolint:errcheck // release of a crashed node's books entry
+		ap.Controller.Handle(raw) //nolint:errcheck // release of a crashed node's books entry
 	}
-	rs.ctl.Promotions += nw.pushNotifications(false)
+	delete(nw.strays, id)
+	rs.ctl.Promotions += nw.pushNotifications(ap, false)
 	rs.leaves++
+	rs.apStats[ap.idx].Leaves++
 	now := rs.sim.Now()
+	rs.apClose(id, now)
 	h := rs.handle(id)
 	if h.present {
 		h.activeS += now - h.joinedAt

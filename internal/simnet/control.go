@@ -61,14 +61,14 @@ func (cc ControlConfig) retrier() netctl.Retrier {
 // that is what exercises its idempotent handling — and duplicate or
 // stale replies (wrong sequence number) are discarded by the
 // caller-side match.
-func (nw *Network) transact(req any, at float64) (any, float64, error) {
+func (nw *Network) transact(ap *AccessPoint, req any, at float64) (any, float64, error) {
 	raw, err := mac.Marshal(req)
 	if err != nil {
 		return nil, 0, err
 	}
 	node, seq, _ := mac.RequestIdent(req)
 	return nw.Control.retrier().Do(nw.ctrlRNG, func(_ int, elapsed float64) (any, float64, bool) {
-		return nw.exchange(raw, node, seq, at+elapsed)
+		return nw.exchange(ap, raw, node, seq, at+elapsed)
 	})
 }
 
@@ -78,9 +78,9 @@ func (nw *Network) transact(req any, at float64) (any, float64, error) {
 // reply goes back through the side channel. The first reply copy whose
 // identity matches (node, seq) and whose round trip fits the timeout
 // wins.
-func (nw *Network) exchange(raw []byte, node, seq uint32, at float64) (any, float64, bool) {
+func (nw *Network) exchange(ap *AccessPoint, raw []byte, node, seq uint32, at float64) (any, float64, bool) {
 	requests := nw.Side.Transmit(raw)
-	if nw.apDown {
+	if ap.down {
 		// The AP is rebooting: frames fall on deaf ears.
 		return nil, 0, false
 	}
@@ -88,7 +88,7 @@ func (nw *Network) exchange(raw []byte, node, seq uint32, at float64) (any, floa
 	var rtt float64
 	got := false
 	for _, rd := range requests {
-		replyRaw, err := nw.Controller.HandleAt(rd.Frame, at+rd.DelayS)
+		replyRaw, err := ap.Controller.HandleAt(rd.Frame, at+rd.DelayS)
 		if err != nil || replyRaw == nil {
 			continue // garbled on the air, or not a replyable message
 		}
@@ -112,14 +112,15 @@ func (nw *Network) exchange(raw []byte, node, seq uint32, at float64) (any, floa
 	return reply, rtt, got
 }
 
-// handshake drives the full join exchange for node n starting at virtual
-// time at: a JoinRequest with retries, then — when rejected into SDM —
-// TMA-aware host-channel placement and a ShareConfirm with retries. On
-// success n.Assignment and n.SDMShared reflect the grant. It returns the
-// virtual time the handshake consumed.
+// handshake drives the full join exchange for node n at its serving AP
+// starting at virtual time at: a JoinRequest with retries, then — when
+// rejected into SDM — TMA-aware host-channel placement and a
+// ShareConfirm with retries. On success n.Assignment and n.SDMShared
+// reflect the grant. It returns the virtual time the handshake consumed.
 func (nw *Network) handshake(n *Node, at float64) (float64, error) {
+	ap := nw.hostAP(n)
 	n.seq++
-	reply, took, err := nw.transact(mac.JoinRequest{NodeID: n.ID, Seq: n.seq, DemandBps: n.Demand}, at)
+	reply, took, err := nw.transact(ap, mac.JoinRequest{NodeID: n.ID, Seq: n.seq, DemandBps: n.Demand}, at)
 	if err != nil {
 		return took, fmt.Errorf("%w: %v", ErrJoinFailed, err)
 	}
@@ -139,7 +140,7 @@ func (nw *Network) handshake(n *Node, at float64) (float64, error) {
 		// every occupant's harmonic slot: place the newcomer on the
 		// channel whose occupants are farthest from its slot so the
 		// TMA can actually separate them.
-		if c, ok := nw.bestHostChannel(n.SDMHarmonic, nw.AP.AngleTo(n.Pose.Pos), n.ID); ok {
+		if c, ok := nw.bestHostChannel(ap, n.SDMHarmonic, ap.Pose.AngleTo(n.Pose.Pos), n.ID); ok {
 			n.Assignment.CenterHz = c
 		}
 		// Report the final placement back so the AP's spectrum books
@@ -154,7 +155,7 @@ func (nw *Network) handshake(n *Node, at float64) (float64, error) {
 			WidthHz:  n.Assignment.WidthHz,
 			Harmonic: int8(n.SDMHarmonic),
 		}
-		_, t2, err := nw.transact(confirm, at+took)
+		_, t2, err := nw.transact(ap, confirm, at+took)
 		took += t2
 		if err != nil {
 			// The placement is chosen but the AP never heard the
@@ -189,7 +190,7 @@ const (
 // the next keepalive.
 func (nw *Network) renewOnce(n *Node, at float64) renewResult {
 	n.seq++
-	reply, took, err := nw.transact(mac.RenewMsg{NodeID: n.ID, Seq: n.seq}, at)
+	reply, took, err := nw.transact(nw.hostAP(n), mac.RenewMsg{NodeID: n.ID, Seq: n.seq}, at)
 	if err != nil {
 		return renewFailed
 	}
@@ -219,20 +220,20 @@ func (nw *Network) renewOnce(n *Node, at float64) renewResult {
 	}
 }
 
-// pushNotifications delivers the controller's queued PromoteMsg pushes
+// pushNotifications delivers one AP controller's queued PromoteMsg pushes
 // through the side channel. A push that the channel drops is simply
 // lost — the promoted node keeps operating as a sharer until its next
 // renew ack re-syncs it.
-func (nw *Network) pushNotifications(reliable bool) (applied int) {
-	for _, note := range nw.Controller.TakeNotifications() {
+func (nw *Network) pushNotifications(ap *AccessPoint, reliable bool) (applied int) {
+	for _, note := range ap.Controller.TakeNotifications() {
 		if reliable {
-			if nw.applyPromotion(note) {
+			if nw.applyPromotion(ap, note) {
 				applied++
 			}
 			continue
 		}
 		for _, d := range nw.Side.Transmit(note) {
-			if len(d.Frame) == len(note) && nw.applyPromotion(d.Frame) {
+			if len(d.Frame) == len(note) && nw.applyPromotion(ap, d.Frame) {
 				applied++
 				break
 			}

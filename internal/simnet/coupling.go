@@ -21,6 +21,14 @@ import (
 // and the incremental results are golden-tested equal to a from-scratch
 // rebuild.
 
+// gainTableFor returns node n's TMA harmonic gain table at its angle of
+// arrival at its serving AP — the table the pair kernel reads when n is
+// the interferer of a same-AP co-channel pair.
+func (nw *Network) gainTableFor(n *Node) []complex128 {
+	ap := nw.hostAP(n)
+	return ap.SDM.GainTable(ap.Pose.AngleTo(n.Pose.Pos))
+}
+
 // invalidateCoupling marks the cached coupling matrix stale, forcing a
 // full rebuild on the next evaluation. MoveNode calls it (a pose change
 // stales the node's harmonic gain table); blocker motion (Env.Step) does
@@ -37,6 +45,12 @@ func (nw *Network) invalidateCoupling() { nw.couplingDirty = true }
 func (nw *Network) pairCouplingLinear(node, other *Node, tblOther []complex128) float64 {
 	if c, ok := nw.freqCouplingDB(node, other); ok {
 		return units.FromDB(-c)
+	}
+	if node.apIndex() != other.apIndex() {
+		// Cross-AP co-channel: the interferer is not part of the victim
+		// AP's TMA schedule, so the array buys no separation — a full
+		// collision, mitigated only by distance (the power term).
+		return 1
 	}
 	if !node.SDMShared && !other.SDMShared {
 		return 1 // full collision, 0 dB
@@ -86,7 +100,7 @@ func (nw *Network) ensureCoupling() {
 		nw.couplingTables = nw.couplingTables[:n]
 	}
 	nw.forEachNode(n, func(j int) {
-		nw.couplingTables[j] = nw.SDM.GainTable(nw.AP.AngleTo(nw.Nodes[j].Pose.Pos))
+		nw.couplingTables[j] = nw.gainTableFor(nw.Nodes[j])
 	})
 	nw.forEachNode(n, func(i int) {
 		node := nw.Nodes[i]
@@ -137,7 +151,7 @@ func (nw *Network) couplingAddNode() {
 		}
 	}
 	newcomer := nw.Nodes[old]
-	tbl := nw.SDM.GainTable(nw.AP.AngleTo(newcomer.Pose.Pos))
+	tbl := nw.gainTableFor(newcomer)
 	nw.couplingTables = append(nw.couplingTables, tbl)
 	row := nw.coupling[old*n : n*n]
 	for j := 0; j < old; j++ {
@@ -234,7 +248,7 @@ func (nw *Network) couplingMoveNode(target *Node) {
 		nw.couplingDirty = true
 		return
 	}
-	nw.couplingTables[i] = nw.SDM.GainTable(nw.AP.AngleTo(target.Pose.Pos))
+	nw.couplingTables[i] = nw.gainTableFor(target)
 	for j := 0; j < n; j++ {
 		if j == i {
 			continue
@@ -242,6 +256,34 @@ func (nw *Network) couplingMoveNode(target *Node) {
 		nw.coupling[i*n+j] = nw.pairCouplingLinear(target, nw.Nodes[j], nw.couplingTables[j])
 		nw.coupling[j*n+i] = nw.pairCouplingLinear(nw.Nodes[j], target, nw.couplingTables[i])
 	}
+}
+
+// roamDetach and roamAttach bracket a roam's AP switch for the coupling
+// layer. The sparse core keys per-edge bookkeeping (cross-AP out-edge
+// counters, channel-shard registration) on the node's serving AP, so the
+// teardown must run while the old association is still in place and the
+// re-registration after the new one (and its assignment) are: detach
+// clears edges, grid slot and shard entry; attach re-derives geometry
+// against the new AP, re-registers and rediscovers the adjacency. The
+// dense matrix carries no AP-scoped incremental state, so detach is a
+// no-op and attach is the ordinary move refresh.
+func (nw *Network) roamDetach(n *Node) {
+	if s := nw.sparse; s != nil {
+		s.clearEdges(n)
+		s.gridRemove(n)
+		s.chanUnregister(n)
+	}
+}
+
+func (nw *Network) roamAttach(n *Node) {
+	if s := nw.sparse; s != nil {
+		s.registerNode(nw, n)
+		s.discoverIn(nw, n)
+		s.discoverOut(nw, n)
+		s.markEvalStale(n)
+		return
+	}
+	nw.couplingMoveNode(n)
 }
 
 // couplingPowerChanged tells the coupling layer a node's transmit state

@@ -93,12 +93,19 @@ type spNode struct {
 	pBound float64
 	// noise is the node's receiver noise floor (bandwidth-dependent).
 	noise float64
-	// power is the node's actual received power at the AP from the last
-	// link evaluation; interf the last interference re-sum.
+	// power is the node's actual received power at its serving AP from
+	// the last link evaluation; interf the last interference re-sum.
 	power  float64
 	interf float64
-	eval   core.Evaluation
-	rep    Report
+	// outPerAP counts, per AP index, the node's out-edges into victims
+	// served there; xpower caches the node's received power at each such
+	// foreign AP, refreshed by the eval pass whenever the count is
+	// nonzero. Both stay nil until the node's first cross-AP edge, so
+	// single-AP runs carry no per-node overhead.
+	outPerAP []int
+	xpower   []float64
+	eval     core.Evaluation
+	rep      Report
 	// grid and channel-registry bookkeeping (swap-remove slots).
 	cell     int
 	cellSlot int
@@ -120,6 +127,7 @@ type spNode struct {
 type chanState struct {
 	center   float64
 	maxWidth float64 // never shrunk: conservative for the class screen
+	ap       int     // owning shard: occupants are served by this AP
 	count    int
 	occ      [][]*Node
 	minA     []float64
@@ -127,6 +135,17 @@ type chanState struct {
 	// (removals can raise a minimum; additions only lower it).
 	minADirty bool
 	listIdx   int
+}
+
+// sparseShard is one AP's slice of the channel registry: only nodes
+// served by that AP live in its channels, so an AP's settle work and
+// bestHostChannel scan are bounded by its own coverage domain.
+// Cross-shard interference is not lost — it is admitted as ordinary
+// sparse edges between nodes of different shards (see discoverIn /
+// discoverOut), with the power term re-anchored at the victim's AP.
+type sparseShard struct {
+	chans    map[float64]*chanState
+	chanList []*chanState
 }
 
 // sparseState is the per-network sparse core. All scratch slices are
@@ -150,8 +169,10 @@ type sparseState struct {
 	// that have left.
 	bbMin, bbMax channel.Vec2
 
-	chans    map[float64]*chanState
-	chanList []*chanState
+	// shards holds the per-AP channel registries, indexed by AP index;
+	// nAPs sizes the per-node cross-AP bookkeeping vectors.
+	shards []sparseShard
+	nAPs   int
 
 	dirty    []*Node
 	envEpoch uint64
@@ -202,10 +223,14 @@ func newSparseState(nw *Network) *sparseState {
 		cellW:    room.Width / float64(nx),
 		cellH:    room.Height / float64(ny),
 		cells:    make([][]*Node, nx*ny),
-		chans:    make(map[float64]*chanState),
+		shards:   make([]sparseShard, len(nw.APs)),
+		nAPs:     len(nw.APs),
 		envEpoch: nw.Env.Epoch(),
 		bbMin:    channel.Vec2{},
 		bbMax:    channel.Vec2{X: room.Width, Y: room.Height},
+	}
+	for i := range s.shards {
+		s.shards[i].chans = make(map[float64]*chanState)
 	}
 	return s
 }
@@ -237,8 +262,12 @@ func (nw *Network) sparsePowerBoundConst() float64 {
 		if a := cmplx.Abs(nw.NodeBeams.Beam1.FieldGain(th)); a > gt {
 			gt = a
 		}
-		if a := cmplx.Abs(nw.APPattern.FieldGain(th)); a > gr {
-			gr = a
+		// gr bounds the receive gain of EVERY AP at once (float max is
+		// order-free, so with one AP this is the old single-pattern scan).
+		for _, ap := range nw.APs {
+			if a := cmplx.Abs(ap.Pattern.FieldGain(th)); a > gr {
+				gr = a
+			}
 		}
 	}
 	// Headroom for the angular sampling grid (the patterns are smooth,
@@ -283,10 +312,14 @@ func (s *sparseState) registerNode(nw *Network, n *Node) {
 	s.chanRegister(n)
 }
 
-// setGeometry refreshes everything derived from the node's pose: its TMA
-// gain table, its avec suppression vector, and its power bound.
+// setGeometry refreshes everything derived from the node's pose and its
+// serving AP: its TMA gain table (at the angle of arrival at THAT AP),
+// its avec suppression vector, and its power bound (anchored at that
+// AP). A roam re-runs this through registerNode after the association
+// flips.
 func (s *sparseState) setGeometry(nw *Network, n *Node) {
-	n.sp.tbl = nw.SDM.GainTable(nw.AP.AngleTo(n.Pose.Pos))
+	ap := nw.hostAP(n)
+	n.sp.tbl = ap.SDM.GainTable(ap.Pose.AngleTo(n.Pose.Pos))
 	if cap(n.sp.avec) < len(n.sp.tbl) {
 		n.sp.avec = make([]float64, len(n.sp.tbl))
 	}
@@ -295,11 +328,19 @@ func (s *sparseState) setGeometry(nw *Network, n *Node) {
 	for k := range n.sp.avec {
 		n.sp.avec[k] = tmaSuppressionDB(own, cmplx.Abs(n.sp.tbl[k]))
 	}
-	d := n.Pose.Pos.Dist(nw.AP.Pos)
+	n.sp.pBound = s.pBoundAt(n.Pose.Pos, ap)
+}
+
+// pBoundAt anchors the conservative received-power bound at an arbitrary
+// AP — the cross-shard analogue of the pBound cached by setGeometry. The
+// float operations are identical, so evaluated at a node's own serving
+// AP it reproduces the cached value bit-for-bit.
+func (s *sparseState) pBoundAt(p channel.Vec2, ap *AccessPoint) float64 {
+	d := p.Dist(ap.Pose.Pos)
 	if d < sparseDMin {
 		d = sparseDMin
 	}
-	n.sp.pBound = s.pC / (d * d)
+	return s.pC / (d * d)
 }
 
 // --- grid ---
@@ -397,21 +438,23 @@ func (s *sparseState) forEachInDisc(p channel.Vec2, r float64, fn func(*Node)) {
 // --- channel registry ---
 
 func (s *sparseState) chanRegister(n *Node) {
+	sh := &s.shards[n.apIndex()]
 	c := n.Assignment.CenterHz
-	cs := s.chans[c]
+	cs := sh.chans[c]
 	if cs == nil {
 		slots := 2*s.maxM + 1
 		cs = &chanState{
 			center:  c,
+			ap:      n.apIndex(),
 			occ:     make([][]*Node, slots),
 			minA:    make([]float64, slots),
-			listIdx: len(s.chanList),
+			listIdx: len(sh.chanList),
 		}
 		for k := range cs.minA {
 			cs.minA[k] = math.Inf(1)
 		}
-		s.chans[c] = cs
-		s.chanList = append(s.chanList, cs)
+		sh.chans[c] = cs
+		sh.chanList = append(sh.chanList, cs)
 	}
 	if n.Assignment.WidthHz > cs.maxWidth {
 		cs.maxWidth = n.Assignment.WidthHz
@@ -447,15 +490,16 @@ func (s *sparseState) chanUnregister(n *Node) {
 	cs.minADirty = true
 	n.sp.cs = nil
 	if cs.count == 0 {
+		sh := &s.shards[cs.ap]
 		li := cs.listIdx
-		lastC := len(s.chanList) - 1
+		lastC := len(sh.chanList) - 1
 		if li != lastC {
-			s.chanList[li] = s.chanList[lastC]
-			s.chanList[li].listIdx = li
+			sh.chanList[li] = sh.chanList[lastC]
+			sh.chanList[li].listIdx = li
 		}
-		s.chanList[lastC] = nil
-		s.chanList = s.chanList[:lastC]
-		delete(s.chans, cs.center)
+		sh.chanList[lastC] = nil
+		sh.chanList = sh.chanList[:lastC]
+		delete(sh.chans, cs.center)
 	}
 }
 
@@ -513,7 +557,30 @@ func (s *sparseState) addEdge(src, dst *Node, w float64) {
 	di := len(dst.sp.in)
 	src.sp.out = append(src.sp.out, outEdge{dst: dst, dstSlot: di})
 	dst.sp.in = append(dst.sp.in, inEdge{src: src, w: w, srcSlot: si})
+	if da := dst.apIndex(); da != src.apIndex() {
+		if src.sp.outPerAP == nil {
+			src.sp.outPerAP = make([]int, s.nAPs)
+			src.sp.xpower = make([]float64, s.nAPs)
+		}
+		src.sp.outPerAP[da]++
+		if src.sp.outPerAP[da] == 1 {
+			// First victim at that AP: the source's cached xpower[da] has
+			// never been computed (or went stale while unreferenced), so
+			// force an eval pass over it before the victim re-sums.
+			s.markEvalStale(src)
+		}
+	}
 	s.markDirty(dst)
+}
+
+// noteUnhook reverses addEdge's cross-AP bookkeeping for a pair about to
+// be unhooked. Edges are always torn down before an endpoint's
+// association changes (roamDetach runs under the old AP), so the AP
+// indexes seen here match the ones addEdge counted.
+func (s *sparseState) noteUnhook(src, dst *Node) {
+	if da := dst.apIndex(); da != src.apIndex() && src.sp.outPerAP != nil {
+		src.sp.outPerAP[da]--
+	}
 }
 
 // removeOutEdgeAt unhooks src.out[si] and its mirror in-edge, fixing the
@@ -521,6 +588,7 @@ func (s *sparseState) addEdge(src, dst *Node, w float64) {
 func (s *sparseState) removeOutEdgeAt(src *Node, si int) {
 	e := src.sp.out[si]
 	dst, di := e.dst, e.dstSlot
+	s.noteUnhook(src, dst)
 	last := len(dst.sp.in) - 1
 	if di != last {
 		moved := dst.sp.in[last]
@@ -542,6 +610,7 @@ func (s *sparseState) removeOutEdgeAt(src *Node, si int) {
 func (s *sparseState) removeInEdgeAt(dst *Node, di int) {
 	e := dst.sp.in[di]
 	src, si := e.src, e.srcSlot
+	s.noteUnhook(src, dst)
 	lastO := len(src.sp.out) - 1
 	if si != lastO {
 		movedO := src.sp.out[lastO]
@@ -571,52 +640,70 @@ func (s *sparseState) clearEdges(n *Node) {
 }
 
 // discoverIn finds every source audible to victim v: a grid disc query
-// around the AP bounds the candidate set (anything outside has
-// pBound < cut·noise even at w=1), then each candidate is admitted
-// exactly through the shared pair kernel.
+// around v's SERVING AP bounds the candidate set (v's receiver lives
+// there; anything outside the disc has a power bound below cut·noise
+// even at w=1), then each candidate is admitted exactly through the
+// shared pair kernel. A candidate served by another AP carries a bound
+// anchored at ITS AP, so the screen re-anchors it at v's — that is the
+// only extra work the multi-AP case adds to this path.
 func (s *sparseState) discoverIn(nw *Network, v *Node) {
 	threshold := s.cut * v.sp.noise
 	r := math.Sqrt(s.pC / threshold)
 	if r < sparseDMin {
 		r = sparseDMin
 	}
-	s.forEachInDisc(nw.AP.Pos, r, func(j *Node) {
+	apV := nw.hostAP(v)
+	vi := apV.idx
+	s.forEachInDisc(apV.Pose.Pos, r, func(j *Node) {
 		if j == v {
 			return
 		}
-		if j.sp.pBound < threshold {
+		pb := j.sp.pBound
+		if j.apIndex() != vi {
+			pb = s.pBoundAt(j.Pose.Pos, apV)
+		}
+		if pb < threshold {
 			return
 		}
 		w := nw.pairCouplingLinear(v, j, j.sp.tbl)
-		if j.sp.pBound*w >= threshold {
+		if pb*w >= threshold {
 			s.addEdge(j, v, w)
 		}
 	})
 }
 
-// discoverOut finds every victim source u can reach: the channel
-// registry enumerates all members bucketed by channel, each channel
+// discoverOut finds every victim source u can reach, one shard at a
+// time: victims in shard a hear u at AP a, so u's power bound is
+// re-anchored there before the screens run. Each shard's channels are
 // screened first by the conservative ACLR class bound against the
 // network's lowest noise floor, then each surviving occupant admitted
-// exactly. An inaudible source (pBound below even the w=1 threshold)
-// skips the walk entirely — the common case away from the AP.
+// exactly. An inaudible source (re-anchored bound below even the w=1
+// threshold) skips that shard's walk entirely — the common case for
+// shards whose AP sits across the floor.
 func (s *sparseState) discoverOut(nw *Network, u *Node) {
-	if u.sp.pBound < s.cut*s.minNoise {
-		return
-	}
-	for _, cs := range s.chanList {
-		wMax := nw.classBoundLinear(u.Assignment.CenterHz, u.Assignment.WidthHz, cs)
-		if u.sp.pBound*wMax < s.cut*s.minNoise {
+	ui := u.apIndex()
+	for ai := range s.shards {
+		pb := u.sp.pBound
+		if ai != ui {
+			pb = s.pBoundAt(u.Pose.Pos, nw.APs[ai])
+		}
+		if pb < s.cut*s.minNoise {
 			continue
 		}
-		for _, lst := range cs.occ {
-			for _, v := range lst {
-				if v == u {
-					continue
-				}
-				w := nw.pairCouplingLinear(v, u, u.sp.tbl)
-				if u.sp.pBound*w >= s.cut*v.sp.noise {
-					s.addEdge(u, v, w)
+		for _, cs := range s.shards[ai].chanList {
+			wMax := nw.classBoundLinear(u.Assignment.CenterHz, u.Assignment.WidthHz, cs)
+			if pb*wMax < s.cut*s.minNoise {
+				continue
+			}
+			for _, lst := range cs.occ {
+				for _, v := range lst {
+					if v == u {
+						continue
+					}
+					w := nw.pairCouplingLinear(v, u, u.sp.tbl)
+					if pb*w >= s.cut*v.sp.noise {
+						s.addEdge(u, v, w)
+					}
 				}
 			}
 		}
@@ -767,7 +854,23 @@ func (s *sparseState) runEvalPass(nw *Network) {
 			g := math.Max(cmplx.Abs(n.sp.eval.G0), cmplx.Abs(n.sp.eval.G1))
 			n.sp.power = g * g
 		}
-		n.sp.powerMoved = n.sp.power != oldPower
+		moved := n.sp.power != oldPower
+		// Refresh the node's received power at every foreign AP it has
+		// victims at (cross-shard edges). Down sources are skipped: their
+		// victims skip them in the re-sum, exactly like the serving path.
+		if n.sp.outPerAP != nil && !n.Down {
+			ai := n.apIndex()
+			for a, cnt := range n.sp.outPerAP {
+				if cnt <= 0 || a == ai {
+					continue
+				}
+				if p := nw.crossPower(n, a); p != n.sp.xpower[a] {
+					n.sp.xpower[a] = p
+					moved = true
+				}
+			}
+		}
+		n.sp.powerMoved = moved
 	})
 	if !s.allStale {
 		for _, n := range work {
@@ -815,12 +918,20 @@ func (s *sparseState) finishNode(n *Node) {
 		return
 	}
 	interf := 0.0
+	vi := n.apIndex()
 	for i := range n.sp.in {
 		e := &n.sp.in[i]
 		if e.src.Down {
 			continue // matches the dense path's powers[j]=0 for crashed nodes
 		}
-		interf += e.src.sp.power * e.w
+		p := e.src.sp.power
+		if e.src.apIndex() != vi {
+			// Cross-shard source: its power at THIS victim's AP, not at
+			// its own serving AP. The eval pass keeps xpower[vi] fresh for
+			// as long as the edge exists (outPerAP[vi] > 0).
+			p = e.src.sp.xpower[vi]
+		}
+		interf += p * e.w
 	}
 	n.sp.interf = interf
 	noise := n.sp.eval.NoisePowerW
@@ -869,12 +980,16 @@ func (s *sparseState) evaluateInto(nw *Network, out []Report) []Report {
 // the same strict total order on (suppression, occupants, center) as the
 // dense scan, so the result is bit-identical. The excluded node's
 // channel (a reboot or post-restart rejoin re-running the handshake)
-// falls back to a direct occupant scan.
-func (s *sparseState) bestHostChannel(nw *Network, h int, th float64, exclude uint32) (float64, bool) {
-	if len(s.chanList) == 0 {
+// falls back to a direct occupant scan. Only the admitting AP's shard is
+// walked — SDM sharing is an intra-array affair, so occupants of other
+// APs never constrain the choice (the dense scan skips them the same
+// way).
+func (s *sparseState) bestHostChannel(nw *Network, ap *AccessPoint, h int, th float64, exclude uint32) (float64, bool) {
+	chanList := s.shards[ap.idx].chanList
+	if len(chanList) == 0 {
 		return 0, false
 	}
-	tbl := nw.SDM.GainTable(th)
+	tbl := ap.SDM.GainTable(th)
 	own := cmplx.Abs(tbl[h+s.maxM])
 	if cap(s.bvec) < len(tbl) {
 		s.bvec = make([]float64, len(tbl))
@@ -886,7 +1001,7 @@ func (s *sparseState) bestHostChannel(nw *Network, h int, th float64, exclude ui
 	exNode := nw.nodeIdx[exclude]
 	bestCenter, found := 0.0, false
 	bestSupp, bestOcc := 0.0, 0
-	for _, cs := range s.chanList {
+	for _, cs := range chanList {
 		occ := cs.count
 		var supp float64
 		if exNode != nil && exNode.sp.cs == cs {

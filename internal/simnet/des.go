@@ -159,6 +159,31 @@ type ControlStats struct {
 	Crashes, Reboots, APRestarts int
 }
 
+// APInterval is one contiguous association of a node with an AP: the AP's
+// registry index and the sim-time span. Intervals close at a leave, a
+// roam, or the end of the run (never left dangling). A crash does not
+// close the interval — the node stays associated while down.
+type APInterval struct {
+	AP         int
+	FromS, ToS float64
+}
+
+// APStats aggregates one AP's share of a run.
+type APStats struct {
+	// AP is the registry index (AccessPoint.Index).
+	AP int
+	// Joins and Leaves count in-run membership events whose handshake or
+	// release ran at this AP; the starting membership is not counted.
+	Joins, Leaves int
+	// RoamsIn and RoamsOut count successful roam transitions toward and
+	// away from this AP.
+	RoamsIn, RoamsOut int
+	// LeaseExpiries counts leases this AP's controller reclaimed.
+	LeaseExpiries int
+	// Members is the AP's association count when the run ended.
+	Members int
+}
+
 // RunStats summarizes a network run. PerNode is ordered by first
 // appearance: the starting membership in join order, then mid-run
 // joiners in activation order; a node that leaves and rejoins under the
@@ -174,6 +199,17 @@ type RunStats struct {
 	// join attempts whose handshake died on the side channel or that
 	// named a duplicate ID.
 	Joins, Leaves, JoinsFailed int
+	// Roams counts successful AP transitions driven by the roaming
+	// policy; RoamsFailed counts attempts whose handshake at the new AP
+	// died on the side channel (the node fell back toward its old AP).
+	Roams, RoamsFailed int
+	// PerAP summarizes each AP's share of the run, indexed by AP
+	// registry position (always length == number of APs).
+	PerAP []APStats
+	// APHistory records every node's association intervals by node ID.
+	// A node that never roamed has exactly one interval per presence
+	// span. Nil for single-AP runs keeps RunStats comparisons cheap.
+	APHistory map[uint32][]APInterval
 }
 
 // TotalGoodputBps returns the aggregate delivered rate.
@@ -209,13 +245,21 @@ type runState struct {
 	nw           *Network
 	sim          *Sim
 	outageSINRdB float64
-	// ctrlNow anchors sim time to the controller's monotonic clock: the
+	// bases anchor sim time to each AP controller's monotonic clock: a
 	// controller may already sit past zero (lossy pre-run handshakes
 	// consume virtual time) while sim restarts at zero every Run.
-	ctrlNow func() float64
-	ctl     *ControlStats
+	bases []float64
+	ctl   *ControlStats
 
 	joins, leaves, joinsFailed int
+	roams, roamsFailed         int
+
+	// apStats accumulates RunStats.PerAP, indexed by AP registry
+	// position. apHist accumulates RunStats.APHistory; nil in single-AP
+	// runs (no transitions to record, and large runs shouldn't pay for
+	// an ID→interval map nobody reads).
+	apStats []APStats
+	apHist  map[uint32][]APInterval
 
 	handles map[uint32]*nodeHandle
 	order   []uint32 // IDs in first-seen order: RunStats.PerNode layout
@@ -226,6 +270,30 @@ type runState struct {
 
 	reports []Report        // cached EvaluateSINR output, parallel to nw.Nodes
 	pending map[uint32]bool // IDs with a handshake done, activation queued
+}
+
+// nowAt maps the current sim time onto one AP controller's clock.
+func (rs *runState) nowAt(ap *AccessPoint) float64 {
+	return rs.bases[ap.idx] + rs.sim.Now()
+}
+
+// apOpen starts an association interval for id at AP index ap; apClose
+// seals the open one. Both are no-ops in single-AP runs.
+func (rs *runState) apOpen(id uint32, ap int, at float64) {
+	if rs.apHist == nil {
+		return
+	}
+	rs.apHist[id] = append(rs.apHist[id], APInterval{AP: ap, FromS: at, ToS: -1})
+}
+
+func (rs *runState) apClose(id uint32, at float64) {
+	if rs.apHist == nil {
+		return
+	}
+	iv := rs.apHist[id]
+	if n := len(iv); n > 0 && iv[n-1].ToS < 0 {
+		iv[n-1].ToS = at
+	}
 }
 
 // handle returns (creating if needed) the stable accounting slot for id.
@@ -439,26 +507,34 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 		panic("simnet: Run is not reentrant")
 	}
 	sim := NewSim()
-	base := nw.Controller.NowS()
+	bases := make([]float64, len(nw.APs))
+	for i, ap := range nw.APs {
+		bases[i] = ap.Controller.NowS()
+		ap.Controller.LeaseTTL = nw.Control.LeaseTTLS
+	}
 	var ctl ControlStats
 	rs := &runState{
 		nw:           nw,
 		sim:          sim,
 		outageSINRdB: outageSINRdB,
-		ctrlNow:      func() float64 { return base + sim.Now() },
+		bases:        bases,
 		ctl:          &ctl,
+		apStats:      make([]APStats, len(nw.APs)),
 		handles:      make(map[uint32]*nodeHandle, len(nw.Nodes)),
 		pending:      map[uint32]bool{},
 	}
+	if len(nw.APs) > 1 {
+		rs.apHist = make(map[uint32][]APInterval, len(nw.Nodes))
+	}
 	nw.run = rs
 	defer func() { nw.run = nil }()
-	nw.Controller.LeaseTTL = nw.Control.LeaseTTLS
 
 	rs.hcache = make([]*nodeHandle, len(nw.Nodes))
 	for i, n := range nw.Nodes {
 		h := rs.handle(n.ID)
 		h.present = true
 		rs.hcache[i] = h
+		rs.apOpen(n.ID, n.apIndex(), 0)
 	}
 	rs.refresh()
 	rs.observe()
@@ -500,7 +576,7 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 					// old lease survived, the AP idempotently re-grants
 					// the same spectrum. A handshake that dies entirely
 					// leaves the node down until the plan retries.
-					if _, err := nw.handshake(n, rs.ctrlNow()); err != nil {
+					if _, err := nw.handshake(n, rs.nowAt(nw.hostAP(n))); err != nil {
 						return
 					}
 					n.Down = false
@@ -509,16 +585,20 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 					rs.refresh()
 				})
 			case faults.APRestart:
+				if fe.AP < 0 || fe.AP >= len(nw.APs) {
+					continue // the plan names an AP this network lacks
+				}
+				ap := nw.APs[fe.AP]
 				sim.At(fe.At, func() {
-					nw.apDown = true
+					ap.down = true
 					ctl.APRestarts++
 				})
 				sim.At(fe.At+fe.DownFor, func() {
 					// The AP returns with empty volatile books; nodes
 					// keep transmitting on last-known assignments and
 					// re-sync via renew-nack → rejoin.
-					nw.apDown = false
-					nw.Controller.Restart()
+					ap.down = false
+					ap.Controller.Restart()
 				})
 			}
 		}
@@ -544,7 +624,7 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 				continue
 			}
 			ctl.RenewsSent++
-			switch nw.renewOnce(n, rs.ctrlNow()) {
+			switch nw.renewOnce(n, rs.nowAt(nw.hostAP(n))) {
 			case renewResynced:
 				ctl.Resyncs++
 				changed = true
@@ -555,14 +635,25 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 				ctl.RenewsFailed++
 			}
 		}
-		expired := nw.Controller.ExpireLeases(rs.ctrlNow())
-		ctl.LeaseExpiries += len(expired)
-		if len(expired) > 0 {
-			// Reclaimed spectrum may promote surviving sharers; the
-			// pushes ride the same lossy side channel, and a lost one
-			// is repaired by the promoted node's next renew ack.
-			ctl.Promotions += nw.pushNotifications(false)
-			changed = true
+		for _, ap := range nw.APs {
+			expired := ap.Controller.ExpireLeases(rs.nowAt(ap))
+			ctl.LeaseExpiries += len(expired)
+			rs.apStats[ap.idx].LeaseExpiries += len(expired)
+			if len(expired) > 0 {
+				// Reclaimed spectrum may promote surviving sharers; the
+				// pushes ride the same lossy side channel, and a lost one
+				// is repaired by the promoted node's next renew ack.
+				ctl.Promotions += nw.pushNotifications(ap, false)
+				changed = true
+			}
+		}
+		// A stray entry the TTL (or a restart) has since reclaimed stops
+		// being a tolerated exception — drop it so ValidateSpectrum's
+		// double-association check regains its full strength.
+		for id, ap := range nw.strays {
+			if !ap.Controller.HoldsLease(id) {
+				delete(nw.strays, id)
+			}
 		}
 		if changed {
 			rs.refresh()
@@ -573,11 +664,35 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 		sim.After(nw.Control.RenewIntervalS, renewTick)
 	}
 
+	// Roaming policy tick: only ever scheduled for a multi-AP network
+	// with a policy installed, so single-AP runs see an unchanged event
+	// sequence.
+	if nw.Roam != nil && len(nw.APs) > 1 {
+		interval := nw.Roam.CheckIntervalS
+		if interval <= 0 {
+			interval = 0.2
+		}
+		var roamTick func()
+		roamTick = func() {
+			rs.roamTick()
+			sim.After(interval, roamTick)
+		}
+		sim.After(interval, roamTick)
+	}
+
 	for _, n := range nw.Nodes {
 		rs.scheduleFrames(n)
 	}
 
 	sim.RunUntil(duration)
+
+	for _, n := range nw.Nodes {
+		rs.apClose(n.ID, duration)
+		rs.apStats[n.apIndex()].Members++
+	}
+	for i := range rs.apStats {
+		rs.apStats[i].AP = i
+	}
 
 	perNode := make([]NodeStats, 0, len(rs.order))
 	for _, id := range rs.order {
@@ -607,5 +722,7 @@ func (nw *Network) Run(duration, envStep, outageSINRdB float64) RunStats {
 	return RunStats{
 		Duration: duration, PerNode: perNode, Control: ctl,
 		Joins: rs.joins, Leaves: rs.leaves, JoinsFailed: rs.joinsFailed,
+		Roams: rs.roams, RoamsFailed: rs.roamsFailed,
+		PerAP: rs.apStats, APHistory: rs.apHist,
 	}
 }

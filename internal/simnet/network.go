@@ -42,12 +42,25 @@ type Node struct {
 	// cannot close at any ladder step — the node is in outage and its
 	// frames are dropped rather than transmitted at a hopeless rate.
 	RateBps float64
-	// Link is the node's OTAM link to the AP.
+	// Link is the node's OTAM link to its serving AP.
 	Link *core.Link
+	// AP is the access point currently serving the node — set at join,
+	// switched by the roaming policy. nil on hand-built nodes, which
+	// count as served by the network's first AP.
+	AP *AccessPoint
 	// Down marks a crashed node: it neither transmits nor renews its
 	// lease until a FaultPlan reboot brings it back through the full
 	// join handshake.
 	Down bool
+	// xlinks lazily caches the node's links toward non-serving APs, one
+	// per AP index: the geometry its cross-AP interference contributions
+	// and roam SNR estimates are evaluated over. On a roam the serving
+	// link parks here and the cached link toward the new AP (if any) is
+	// promoted, so link state is never rebuilt on a ping-pong.
+	xlinks []*core.Link
+	// roamHoldUntil is the sim time before which the roaming policy will
+	// not move this node again (MinDwellS after the last attempt).
+	roamHoldUntil float64
 	// seq numbers the node's control-plane requests so the AP can
 	// detect retransmissions and the node can discard stale replies.
 	seq uint32
@@ -62,13 +75,32 @@ type Node struct {
 
 // Network is the full mmX deployment.
 type Network struct {
-	Env        *channel.Environment
+	Env *channel.Environment
+	// AP, APPattern, Controller and SDM mirror the first AP (APs[0]) so
+	// the single-AP API is unchanged: AP is its pose, Controller its
+	// spectrum books, SDM its time-modulated array. Multi-AP code reads
+	// the registry instead.
 	AP         channel.Pose
 	APPattern  antenna.Pattern
 	Controller *mac.Controller
-	// SDM is the AP's time-modulated array used when FDM runs out.
-	SDM   *tma.Array
-	Nodes []*Node
+	// SDM is the first AP's time-modulated array used when FDM runs out.
+	SDM *tma.Array
+	// APs is the AP registry: the construction-time AP at index 0 plus
+	// every AddAP. Static once nodes join.
+	APs []*AccessPoint
+	// band is the full network band APs allocate from until PlanReuse
+	// partitions it.
+	band mac.Band
+	// Roam, when non-nil in a multi-AP network, re-associates nodes
+	// toward stronger APs during Run (see RoamPolicy).
+	Roam *RoamPolicy
+	// strays tracks leases known to be stranded mid-roam: the node moved
+	// to a new AP but its release at the old one died on the side
+	// channel, so the old books still show it until the lease TTL
+	// reclaims it. ValidateSpectrum excuses exactly these entries from
+	// the no-double-association invariant.
+	strays map[uint32]*AccessPoint
+	Nodes  []*Node
 	// LinkCfg is the shared link budget template.
 	LinkCfg core.LinkConfig
 	// NodeBeams is the beam pair installed on every joining node
@@ -92,9 +124,6 @@ type Network struct {
 	Side *faults.SideChannel
 	// Faults schedules in-run node crash/reboot and AP restart events.
 	Faults *faults.Plan
-	// apDown is true while a FaultPlan AP restart keeps the controller
-	// unreachable.
-	apDown bool
 	// ctrlRNG jitters the control plane's retry backoff without
 	// perturbing the traffic RNG stream.
 	ctrlRNG *stats.RNG
@@ -137,9 +166,12 @@ type Network struct {
 	sparse *sparseState
 	// evalScratch and powerScratch are the dense evaluation path's
 	// retained intermediates, so steady-state EvaluateSINRInto calls stop
-	// allocating them per call.
-	evalScratch  []core.Evaluation
-	powerScratch []float64
+	// allocating them per call. xpowerScratch holds each node's received
+	// power at every AP (row-major [ap][node]) and is only touched by
+	// multi-AP runs — the single-AP loop never indexes it.
+	evalScratch   []core.Evaluation
+	powerScratch  []float64
+	xpowerScratch []float64
 	// run points at the live engine state while Run executes; membership
 	// changes issued mid-run route through it onto the event heap.
 	run *runState
@@ -164,6 +196,7 @@ func NewWithBand(env *channel.Environment, apPose channel.Pose, seed uint64, ban
 		APPattern:      antenna.NewAPAntenna(),
 		Controller:     mac.NewController(band),
 		SDM:            tma.NewSDMArray(16, 1e6),
+		band:           band,
 		LinkCfg:        core.DefaultLinkConfig(),
 		NodeBeams:      antenna.NewNodeBeams(),
 		ACLRAdjacentDB: 40,
@@ -172,8 +205,18 @@ func NewWithBand(env *channel.Environment, apPose channel.Pose, seed uint64, ban
 		ctrlRNG:        stats.NewRNG(seed ^ 0xC0117A01),
 		rng:            stats.NewRNG(seed),
 		nodeIdx:        make(map[uint32]*Node),
+		strays:         make(map[uint32]*AccessPoint),
 	}
 	nw.Controller.LeaseTTL = nw.Control.LeaseTTLS
+	// The registry's first entry aliases the legacy single-AP fields, so
+	// AP-0 state reads identically through either view.
+	nw.APs = []*AccessPoint{{
+		Pose:       apPose,
+		Pattern:    nw.APPattern,
+		Controller: nw.Controller,
+		SDM:        nw.SDM,
+		Band:       band,
+	}}
 	return nw
 }
 
@@ -252,13 +295,15 @@ func (nw *Network) Join(id uint32, pose channel.Pose, demandBps float64, traffic
 		return nil, fmt.Errorf("%w: duplicate node ID %d", ErrJoinFailed, id)
 	}
 	n := &Node{ID: id, Pose: pose, Demand: demandBps, Traffic: traffic}
+	n.AP = nw.selectAP(pose.Pos)
+	ap := n.AP
 	// The TMA hashes each node's angle-of-arrival into a harmonic slot;
 	// the AP learns the slot when the node joins.
-	n.SDMHarmonic = nw.SDM.BestHarmonic(nw.AP.AngleTo(pose.Pos))
-	if _, err := nw.handshake(n, nw.Controller.NowS()); err != nil {
+	n.SDMHarmonic = ap.SDM.BestHarmonic(ap.Pose.AngleTo(pose.Pos))
+	if _, err := nw.handshake(n, ap.Controller.NowS()); err != nil {
 		return nil, err
 	}
-	n.Link = core.NewLink(nw.Env, pose, nw.AP)
+	n.Link = core.NewLink(nw.Env, pose, ap.Pose)
 	n.Link.Beams = nw.NodeBeams
 	nw.applyAssignment(n)
 	nw.registerNode(n)
@@ -293,12 +338,13 @@ func (nw *Network) cappedRate(n *Node, rate float64) float64 {
 }
 
 // pairSuppressionDB returns the worse-direction TMA suppression between
-// two co-channel transmitters: how far each one's energy sits below the
-// other's slot, given their harmonics and angles of arrival.
-func (nw *Network) pairSuppressionDB(mi int, thI float64, mj int, thJ float64) float64 {
+// two co-channel transmitters at the same AP: how far each one's energy
+// sits below the other's slot, given their harmonics and angles of
+// arrival at that AP's array.
+func (nw *Network) pairSuppressionDB(ap *AccessPoint, mi int, thI float64, mj int, thJ float64) float64 {
 	into := func(mVictim int, mOwn int, th float64) float64 {
-		own := cmplx.Abs(nw.SDM.HarmonicGain(mOwn, th))
-		leak := cmplx.Abs(nw.SDM.HarmonicGain(mVictim, th))
+		own := cmplx.Abs(ap.SDM.HarmonicGain(mOwn, th))
+		leak := cmplx.Abs(ap.SDM.HarmonicGain(mVictim, th))
 		if own <= 0 {
 			return 0
 		}
@@ -319,15 +365,18 @@ func (nw *Network) pairSuppressionDB(mi int, thI float64, mj int, thJ float64) f
 	return math.Min(a, b)
 }
 
-// bestHostChannel picks the existing channel whose occupants the TMA can
-// best separate from a newcomer at harmonic h and angle th — maximizing
-// the worst-case pairwise suppression. The exclude ID skips the newcomer
-// itself, so a node re-running the handshake (reboot, post-restart
-// rejoin) doesn't count its own stale entry as an occupant. ok is false
-// when there are no channels yet.
-func (nw *Network) bestHostChannel(h int, th float64, exclude uint32) (float64, bool) {
+// bestHostChannel picks, among the channels live at AP ap, the one whose
+// occupants that AP's TMA can best separate from a newcomer at harmonic h
+// and angle th — maximizing the worst-case pairwise suppression. Only
+// nodes served by ap count as occupants: co-channel nodes at other APs
+// are interference bounded by distance, not schedule mates. The exclude
+// ID skips the newcomer itself, so a node re-running the handshake
+// (reboot, post-restart rejoin, roam fallback) doesn't count its own
+// stale entry as an occupant. ok is false when the AP hosts no channels
+// yet.
+func (nw *Network) bestHostChannel(ap *AccessPoint, h int, th float64, exclude uint32) (float64, bool) {
 	if nw.sparse != nil {
-		return nw.sparse.bestHostChannel(nw, h, th, exclude)
+		return nw.sparse.bestHostChannel(nw, ap, h, th, exclude)
 	}
 	type chanInfo struct {
 		worstSupp float64
@@ -335,7 +384,7 @@ func (nw *Network) bestHostChannel(h int, th float64, exclude uint32) (float64, 
 	}
 	byCenter := map[float64]*chanInfo{}
 	for _, n := range nw.Nodes {
-		if n.ID == exclude {
+		if n.ID == exclude || nw.hostAP(n) != ap {
 			continue
 		}
 		ci := byCenter[n.Assignment.CenterHz]
@@ -343,7 +392,7 @@ func (nw *Network) bestHostChannel(h int, th float64, exclude uint32) (float64, 
 			ci = &chanInfo{worstSupp: math.Inf(1)}
 			byCenter[n.Assignment.CenterHz] = ci
 		}
-		s := nw.pairSuppressionDB(h, th, n.SDMHarmonic, nw.AP.AngleTo(n.Pose.Pos))
+		s := nw.pairSuppressionDB(ap, h, th, n.SDMHarmonic, ap.Pose.AngleTo(n.Pose.Pos))
 		if s < ci.worstSupp {
 			ci.worstSupp = s
 		}
@@ -382,26 +431,37 @@ func (nw *Network) Leave(id uint32) {
 	}
 	leaver := nw.nodeByID(id)
 	if leaver != nil {
+		ap := nw.hostAP(leaver)
 		removedAt := leaver.idx
 		nw.unregisterNodeAt(removedAt)
 		nw.couplingRemoveNode(leaver, removedAt)
 		// Best-effort release through the retry machine: if every attempt
 		// dies on the side channel the lease TTL reclaims the spectrum.
 		leaver.seq++
-		nw.transact(mac.ReleaseMsg{NodeID: id, Seq: leaver.seq}, nw.Controller.NowS()) //nolint:errcheck
+		nw.transact(ap, mac.ReleaseMsg{NodeID: id, Seq: leaver.seq}, ap.Controller.NowS()) //nolint:errcheck
+		delete(nw.strays, id)
+		// The leaver is gone from the membership list, so the promote
+		// push (if any) is delivered reliably to whichever sharer it
+		// names.
+		nw.pushNotifications(ap, true)
 	} else {
+		// Unknown ID: the release may target any AP's stale entry, so
+		// hand it to every controller (a release of an unknown node is a
+		// stale no-op at the others).
 		raw, _ := mac.Marshal(mac.ReleaseMsg{NodeID: id})
-		nw.Controller.Handle(raw) //nolint:errcheck // release of an unknown node is a stale no-op
+		for _, ap := range nw.APs {
+			ap.Controller.Handle(raw) //nolint:errcheck
+			nw.pushNotifications(ap, true)
+		}
 	}
-	// The leaver is gone from the membership list, so the promote push
-	// (if any) is delivered reliably to whichever sharer it names.
-	nw.pushNotifications(true)
 }
 
-// applyPromotion installs a PromoteMsg pushed after a release: the named
-// SDM sharer becomes the exclusive owner of (part of) the channel it
-// shared. It reports whether a live node actually adopted the promotion.
-func (nw *Network) applyPromotion(reply []byte) bool {
+// applyPromotion installs a PromoteMsg pushed by AP ap after a release:
+// the named SDM sharer becomes the exclusive owner of (part of) the
+// channel it shared. A node that roamed away since the push was queued
+// ignores it — its spectrum now lives at another AP. It reports whether
+// a live node actually adopted the promotion.
+func (nw *Network) applyPromotion(ap *AccessPoint, reply []byte) bool {
 	if len(reply) == 0 {
 		return false
 	}
@@ -414,7 +474,7 @@ func (nw *Network) applyPromotion(reply []byte) bool {
 		return false
 	}
 	n := nw.nodeByID(p.NodeID)
-	if n == nil {
+	if n == nil || nw.hostAP(n) != ap {
 		return false
 	}
 	n.SDMShared = false
@@ -432,7 +492,9 @@ func (nw *Network) applyPromotion(reply []byte) bool {
 // TMA harmonic slot, and the cached coupling matrix. The coupling refresh
 // is incremental — one gain table plus one row/column recompute
 // (couplingMoveNode), not the full-rebuild invalidation earlier revisions
-// paid per motion event. It reports whether the node exists. Safe during
+// paid per motion event. The association itself does not change here:
+// a node carried toward another AP re-homes at the roaming policy's next
+// check, not mid-motion. It reports whether the node exists. Safe during
 // Run — membership does not change.
 func (nw *Network) MoveNode(id uint32, pose channel.Pose) bool {
 	n := nw.nodeByID(id)
@@ -441,20 +503,37 @@ func (nw *Network) MoveNode(id uint32, pose channel.Pose) bool {
 	}
 	n.Pose = pose
 	n.Link.Node = pose
-	n.SDMHarmonic = nw.SDM.BestHarmonic(nw.AP.AngleTo(pose.Pos))
+	for _, l := range n.xlinks {
+		if l != nil {
+			l.Node = pose
+		}
+	}
+	ap := nw.hostAP(n)
+	n.SDMHarmonic = ap.SDM.BestHarmonic(ap.Pose.AngleTo(pose.Pos))
 	nw.couplingMoveNode(n)
 	return true
 }
 
 // ValidateSpectrum cross-checks the network's spectrum state against the
-// MAC layer's books: allocator invariants hold, every FDM owner's
-// assignment matches the allocator's record, every SDM sharer is
-// registered with the controller on the channel it actually occupies, and
-// no two exclusive (non-SDM) channels overlap. It returns nil when
-// consistent — the property the churn lifecycle preserves.
+// MAC layer's books, per AP: allocator invariants hold at every AP, every
+// FDM owner's assignment matches its serving AP's record, every SDM
+// sharer is registered with its serving AP's controller on the channel it
+// actually occupies, and no two exclusive (non-SDM) channels at the same
+// AP overlap (cross-AP overlap is legal — that is what frequency reuse
+// and distance-bounded interference are for). In a multi-AP network it
+// additionally asserts the roaming invariant: no live node holds leases
+// at two APs at once, except for the tracked mid-roam strays whose
+// release died on the side channel and whose lease TTL is reclaiming
+// them. It returns nil when consistent — the property the churn and roam
+// lifecycles preserve.
 func (nw *Network) ValidateSpectrum() error {
-	if err := nw.Controller.Alloc.Validate(); err != nil {
-		return err
+	for _, ap := range nw.APs {
+		if err := ap.Controller.Alloc.Validate(); err != nil {
+			if len(nw.APs) > 1 {
+				return fmt.Errorf("simnet: AP %d: %w", ap.idx, err)
+			}
+			return err
+		}
 	}
 	for _, n := range nw.Nodes {
 		if n.Down {
@@ -463,8 +542,9 @@ func (nw *Network) ValidateSpectrum() error {
 			// invariants.
 			continue
 		}
+		ap := nw.hostAP(n)
 		if n.SDMShared {
-			c, ok := nw.Controller.SharerChannel(n.ID)
+			c, ok := ap.Controller.SharerChannel(n.ID)
 			if !ok {
 				return fmt.Errorf("simnet: SDM node %d not registered with the controller", n.ID)
 			}
@@ -474,7 +554,7 @@ func (nw *Network) ValidateSpectrum() error {
 			}
 			continue
 		}
-		a, ok := nw.Controller.Alloc.Lookup(n.ID)
+		a, ok := ap.Controller.Alloc.Lookup(n.ID)
 		if !ok {
 			return fmt.Errorf("simnet: exclusive node %d holds no allocation", n.ID)
 		}
@@ -482,7 +562,37 @@ func (nw *Network) ValidateSpectrum() error {
 			return fmt.Errorf("simnet: node %d assignment drifted from the allocator", n.ID)
 		}
 	}
-	return nw.checkExclusiveOverlap(nw.Nodes)
+	if len(nw.APs) == 1 {
+		return nw.checkExclusiveOverlap(nw.Nodes)
+	}
+	// Roaming invariant: walking each AP's leaseholders costs O(total
+	// leases), not O(nodes × APs). A leaseholder served elsewhere is a
+	// double association unless it is a known stray (mid-roam release
+	// loss) — those ride the TTL by design — or has already departed.
+	for _, ap := range nw.APs {
+		for _, id := range ap.Controller.Leaseholders() {
+			n := nw.nodeByID(id)
+			if n == nil || nw.hostAP(n) == ap {
+				continue
+			}
+			if nw.strays[id] == ap {
+				continue
+			}
+			return fmt.Errorf("simnet: node %d double-associated: leases at AP %d while served by AP %d",
+				id, ap.idx, nw.hostAP(n).idx)
+		}
+	}
+	perAP := make([][]*Node, len(nw.APs))
+	for _, n := range nw.Nodes {
+		k := n.apIndex()
+		perAP[k] = append(perAP[k], n)
+	}
+	for _, nodes := range perAP {
+		if err := nw.checkExclusiveOverlap(nodes); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // checkExclusiveOverlap verifies no two live exclusive (non-SDM) channels
@@ -579,15 +689,51 @@ func (nw *Network) couplingDB(i, j *Node) float64 {
 	if c, ok := nw.freqCouplingDB(i, j); ok {
 		return c
 	}
+	if i.apIndex() != j.apIndex() {
+		// Cross-AP co-channel: the interferer is not part of the victim
+		// AP's TMA schedule, so the array buys no separation — a full
+		// collision, mitigated only by distance (the power term).
+		return 0
+	}
 	if !i.SDMShared && !j.SDMShared {
 		return 0
 	}
-	// Co-channel: separated spatially by the TMA. Leakage is j's energy
-	// appearing at i's harmonic relative to j's own harmonic.
-	thJ := nw.AP.AngleTo(j.Pose.Pos)
-	own := cmplx.Abs(nw.SDM.HarmonicGain(j.SDMHarmonic, thJ))
-	leak := cmplx.Abs(nw.SDM.HarmonicGain(i.SDMHarmonic, thJ))
+	// Co-channel at the same AP: separated spatially by that AP's TMA.
+	// Leakage is j's energy appearing at i's harmonic relative to j's
+	// own harmonic.
+	ap := nw.hostAP(j)
+	thJ := ap.Pose.AngleTo(j.Pose.Pos)
+	own := cmplx.Abs(ap.SDM.HarmonicGain(j.SDMHarmonic, thJ))
+	leak := cmplx.Abs(ap.SDM.HarmonicGain(i.SDMHarmonic, thJ))
 	return tmaSuppressionDB(own, leak)
+}
+
+// crossLink returns node n's cached link toward the AP at index a,
+// creating it on first use. Cross links carry the geometry for cross-AP
+// interference contributions and roam SNR estimates; only their gains
+// matter, so the default link config they are born with is never
+// re-derived from assignments.
+func (nw *Network) crossLink(n *Node, a int) *core.Link {
+	if len(n.xlinks) < len(nw.APs) {
+		grown := make([]*core.Link, len(nw.APs))
+		copy(grown, n.xlinks)
+		n.xlinks = grown
+	}
+	l := n.xlinks[a]
+	if l == nil {
+		l = core.NewLink(nw.Env, n.Pose, nw.APs[a].Pose)
+		l.Beams = nw.NodeBeams
+		n.xlinks[a] = l
+	}
+	return l
+}
+
+// crossPower evaluates node n's peak received power at the AP at index a
+// — the interference it injects into that AP's receive domain.
+func (nw *Network) crossPower(n *Node, a int) float64 {
+	ev := nw.crossLink(n, a).EvaluateWithClass()
+	g := math.Max(cmplx.Abs(ev.G0), cmplx.Abs(ev.G1))
+	return g * g
 }
 
 // forEachNode runs fn(i) for every i in [0,n), fanned out across the
@@ -653,16 +799,45 @@ func (nw *Network) EvaluateSINRInto(out []Report) []Report {
 	}
 	evals := nw.evalScratch[:n]
 	powers := nw.powerScratch[:n] // peak received power, watts
+	nAPs := len(nw.APs)
+	multi := nAPs > 1
+	var xp []float64
+	if multi {
+		// Each transmitter's power lands differently at each AP's
+		// receive array; xp[a*n+j] is node j's power at AP a. The
+		// serving-AP entry aliases powers[j], so the interference sum
+		// below reads one uniform table.
+		if cap(nw.xpowerScratch) < nAPs*n {
+			nw.xpowerScratch = make([]float64, nAPs*n)
+		}
+		xp = nw.xpowerScratch[: nAPs*n]
+	}
 	nw.forEachNode(n, func(i int) {
-		if nw.Nodes[i].Down {
+		node := nw.Nodes[i]
+		if node.Down {
 			// Crashed: no carrier on the air, so no interference
 			// contribution and nothing to evaluate.
 			powers[i] = 0
+			if multi {
+				for a := 0; a < nAPs; a++ {
+					xp[a*n+i] = 0
+				}
+			}
 			return
 		}
-		evals[i] = nw.Nodes[i].Link.EvaluateWithClass()
+		evals[i] = node.Link.EvaluateWithClass()
 		g := math.Max(cmplx.Abs(evals[i].G0), cmplx.Abs(evals[i].G1))
 		powers[i] = g * g
+		if multi {
+			ai := node.apIndex()
+			for a := 0; a < nAPs; a++ {
+				if a == ai {
+					xp[a*n+i] = powers[i]
+					continue
+				}
+				xp[a*n+i] = nw.crossPower(node, a)
+			}
+		}
 	})
 	if cap(out) < n {
 		out = make([]Report, n)
@@ -680,11 +855,23 @@ func (nw *Network) EvaluateSINRInto(out []Report) []Report {
 		noise := evals[i].NoisePowerW
 		interf := 0.0
 		row := nw.coupling[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
+		if multi {
+			// The victim listens at its serving AP: weigh every
+			// interferer by its power at that AP.
+			xrow := xp[node.apIndex()*n:]
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				interf += xrow[j] * row[j]
 			}
-			interf += powers[j] * row[j]
+		} else {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				interf += powers[j] * row[j]
+			}
 		}
 		sinr := units.DB(powers[i] / (noise + interf))
 		ev := evals[i]

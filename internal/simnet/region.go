@@ -157,44 +157,48 @@ func mirrorRegion(w channel.Segment, k channel.SweptRegion) channel.SweptRegion 
 
 // buildCorridors enumerates the unfolded corridors for swept region k,
 // mirroring appendPaths' path set: the direct segment, one bounce off
-// every wall, and every ordered wall pair up to MaxReflections. Paths
-// the enumeration would reject (reflection point off the wall, wrong
-// side) only shrink the true affected set, so including their corridors
-// unconditionally is conservative.
+// every wall, and every ordered wall pair up to MaxReflections — once
+// per AP apex, because a node's cached evaluations include its serving
+// link and any cross-AP interference links, and a blocker crossing a
+// path toward ANY AP can change one of them. Paths the enumeration
+// would reject (reflection point off the wall, wrong side) only shrink
+// the true affected set, so including their corridors unconditionally
+// is conservative.
 func (s *sparseState) buildCorridors(nw *Network, k channel.SweptRegion) []corridor {
 	out := s.corridorScratch[:0]
-	ap := nw.AP.Pos
-	out = append(out, newCorridor(ap, [3]channel.SweptRegion{k}, 1))
-	if nw.Env.MaxReflections < 1 {
-		s.corridorScratch = out
-		return out
-	}
 	room := nw.Env.Room
 	walls := s.wallScratch[:0]
 	walls = append(walls, room.Walls...)
 	walls = append(walls, room.Interior...)
 	s.wallScratch = walls
-	for i := range walls {
-		w1 := walls[i].Seg
-		// Single bounce off w1: legs node→rp and rp→AP unfold onto
-		// node→M₁(AP); the second leg's image needs the mirrored capsule.
-		k1 := mirrorRegion(w1, k)
-		out = append(out, newCorridor(w1.MirrorAcross(ap), [3]channel.SweptRegion{k, k1}, 2, w1))
-		if nw.Env.MaxReflections < 2 {
+	for _, a := range nw.APs {
+		ap := a.Pose.Pos
+		out = append(out, newCorridor(ap, [3]channel.SweptRegion{k}, 1))
+		if nw.Env.MaxReflections < 1 {
 			continue
 		}
-		for j := range walls {
-			if j == i {
+		for i := range walls {
+			w1 := walls[i].Seg
+			// Single bounce off w1: legs node→rp and rp→AP unfold onto
+			// node→M₁(AP); the second leg's image needs the mirrored capsule.
+			k1 := mirrorRegion(w1, k)
+			out = append(out, newCorridor(w1.MirrorAcross(ap), [3]channel.SweptRegion{k, k1}, 2, w1))
+			if nw.Env.MaxReflections < 2 {
 				continue
 			}
-			w2 := walls[j].Seg
-			// Double bounce w1 then w2 (node side first, matching
-			// reflectionPoints2): apex M₁(M₂(AP)), legs test against
-			// K, M₁(K), M₁(M₂(K)).
-			out = append(out, newCorridor(
-				w1.MirrorAcross(w2.MirrorAcross(ap)),
-				[3]channel.SweptRegion{k, k1, mirrorRegion(w1, mirrorRegion(w2, k))}, 3,
-				w1, mirrorSeg(w1, w2)))
+			for j := range walls {
+				if j == i {
+					continue
+				}
+				w2 := walls[j].Seg
+				// Double bounce w1 then w2 (node side first, matching
+				// reflectionPoints2): apex M₁(M₂(AP)), legs test against
+				// K, M₁(K), M₁(M₂(K)).
+				out = append(out, newCorridor(
+					w1.MirrorAcross(w2.MirrorAcross(ap)),
+					[3]channel.SweptRegion{k, k1, mirrorRegion(w1, mirrorRegion(w2, k))}, 3,
+					w1, mirrorSeg(w1, w2)))
+			}
 		}
 	}
 	s.corridorScratch = out

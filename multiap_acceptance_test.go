@@ -1,0 +1,108 @@
+package mmx
+
+import (
+	"math"
+	"testing"
+
+	"mmx/internal/stats"
+)
+
+// TestMultiAPScaleAcceptance is the ISSUE-10 acceptance run: 100k nodes
+// over a 16-AP grid with frequency reuse, lossless-scale churn and
+// hysteresis roaming, with the spectrum books — per-AP allocations plus
+// the no-double-association roaming invariant — audited after every
+// membership and roam event. Walking blockers orbit the first AP so some
+// serving paths degrade and the roam policy actually fires at scale.
+func TestMultiAPScaleAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node 16-AP acceptance run")
+	}
+	const size, naps = 100000, 16
+	side := 6000 * math.Sqrt(float64(size)/1000)
+	const g = 4
+	apAt := func(k int) (x, y float64) {
+		return (float64(k%g) + 0.5) * side / float64(g),
+			(float64(k/g) + 0.5) * side / float64(g)
+	}
+	env := NewEnvironment(side, side, 11)
+	x0, y0 := apAt(0)
+	nw := env.NewNetwork(Facing(x0, y0, side/2, side/2), 13)
+	for k := 1; k < naps; k++ {
+		x, y := apAt(k)
+		if _, err := nw.AddAP(Facing(x, y, side/2, side/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nw.PlanReuse(4); err != nil {
+		t.Fatal(err)
+	}
+	nw.SetRoamingPolicy(&RoamPolicy{HysteresisDB: 3})
+	nw.SetCouplingMode(CouplingSparse)
+	nw.SetLeaseTTL(0, 0)
+	rng := stats.NewRNG(99)
+	place := func() Pose {
+		x, y := rng.Uniform(1, side-1), rng.Uniform(1, side-1)
+		bx, by := apAt(0)
+		bd := math.Hypot(x-bx, y-by)
+		for k := 1; k < naps; k++ {
+			ax, ay := apAt(k)
+			if d := math.Hypot(x-ax, y-ay); d < bd {
+				bx, by, bd = ax, ay, d
+			}
+		}
+		return Facing(x, y, bx, by)
+	}
+	id := uint32(1)
+	for i := 0; i < size; i++ {
+		if _, err := nw.Join(id, place(), 1e6, TelemetryTraffic(5)); err != nil {
+			t.Fatal(err)
+		}
+		id++
+	}
+	const churn = 100
+	for k := 0; k < churn; k++ {
+		at := 0.02 + 4.5*float64(k)/churn
+		nw.ScheduleLeave(at, uint32(1+k*(size/churn)))
+		nw.ScheduleJoin(at+0.005, id, place(), 1e6, TelemetryTraffic(5))
+		id++
+	}
+	// People walking across the first AP cell's sight lines: the nodes
+	// they shadow see their serving path degrade and roam toward a
+	// neighboring AP, then roam back (or churn out) as the orbit clears.
+	for k := 0; k < 4; k++ {
+		ang := 2 * math.Pi * float64(k) / 4
+		r := 50 + 100*float64(k)/3
+		env.AddBlocker(x0+r*math.Cos(ang), y0+r*math.Sin(ang),
+			-1.5*math.Sin(ang), 1.5*math.Cos(ang))
+	}
+	events := 0
+	nw.OnMembershipChange(func(event string, id uint32) {
+		events++
+		if err := nw.ValidateSpectrum(); err != nil {
+			t.Fatalf("spectrum inconsistent after %s of node %d (event %d): %v", event, id, events, err)
+		}
+	})
+	st := nw.Run(5, 1, 0)
+	if st.Joins != churn || st.Leaves != churn {
+		t.Fatalf("churn incomplete: %d joins, %d leaves", st.Joins, st.Leaves)
+	}
+	if events != st.Joins+st.Leaves+st.Roams {
+		t.Errorf("audit fired %d times, counters say %d joins + %d leaves + %d roams",
+			events, st.Joins, st.Leaves, st.Roams)
+	}
+	if len(st.PerAP) != naps {
+		t.Fatalf("PerAP has %d entries, want %d", len(st.PerAP), naps)
+	}
+	members := 0
+	for _, a := range st.PerAP {
+		members += a.Members
+	}
+	if members != size {
+		t.Errorf("per-AP member counts sum to %d, want %d", members, size)
+	}
+	if err := nw.ValidateSpectrum(); err != nil {
+		t.Fatalf("spectrum after run: %v", err)
+	}
+	t.Logf("acceptance: %d joins, %d leaves, %d roams (%d failed), %d audited events",
+		st.Joins, st.Leaves, st.Roams, st.RoamsFailed, events)
+}

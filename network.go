@@ -18,6 +18,52 @@ func (e *Environment) NewNetwork(ap Pose, seed uint64) *Network {
 	return &Network{nw: simnet.New(e.env, ap.internal(), seed), env: e}
 }
 
+// AddAP installs an additional access point at pose and returns its AP
+// index. APs are build-time topology: add them before any node joins.
+// Each node associates with exactly one AP (the nearest at join time, or
+// wherever the roaming policy later moves it), and co-channel
+// transmissions under different APs interfere — plan frequency reuse
+// with PlanReuse when APs overlap.
+func (n *Network) AddAP(pose Pose) (int, error) {
+	ap, err := n.nw.AddAP(pose.internal())
+	if err != nil {
+		return -1, err
+	}
+	return ap.Index(), nil
+}
+
+// APCount reports the number of access points in the deployment.
+func (n *Network) APCount() int { return len(n.nw.APs) }
+
+// PlanReuse partitions the band into factor contiguous slices and
+// assigns each AP a slice so that nearby APs land on different slices
+// (greedy max-min-distance coloring). Factor 1 restores full-band reuse
+// at every AP. Like AddAP, reuse planning is build-time: call it after
+// the last AddAP and before the first Join.
+func (n *Network) PlanReuse(factor int) error { return n.nw.PlanReuse(factor) }
+
+// RoamPolicy configures hysteresis-based roaming between APs; see
+// SetRoamingPolicy.
+type RoamPolicy = simnet.RoamPolicy
+
+// SetRoamingPolicy installs (or, with nil, removes) the roaming policy.
+// With a policy set and more than one AP, every check interval each
+// node compares candidate-AP SNR estimates against its serving link;
+// a candidate beating it by HysteresisDB triggers a roam: release at
+// the old AP, full lossy handshake at the new one. A release lost on
+// the side channel leaves a stray lease that the old AP's TTL reclaims
+// — graceful degradation, never double booking.
+func (n *Network) SetRoamingPolicy(p *RoamPolicy) { n.nw.SetRoamingPolicy(p) }
+
+// APStats is one AP's share of a run: membership events it admitted,
+// roams in and out, and its end-of-run member count.
+type APStats = simnet.APStats
+
+// APInterval records one node's association with one AP over a time
+// span; RunStats.APHistory strings them into per-node roaming
+// histories.
+type APInterval = simnet.APInterval
+
 // Traffic describes a node's offered load.
 type Traffic = simnet.TrafficModel
 
@@ -48,6 +94,9 @@ type NodeInfo struct {
 	// (the TMA separates it from the channel's other occupants by
 	// angle).
 	SharedViaSDM bool
+	// AP is the index of the access point serving the node (0 in a
+	// single-AP deployment).
+	AP int
 }
 
 // Join admits a node: the initialization handshake (§4) runs over the
@@ -62,12 +111,16 @@ func (n *Network) Join(id uint32, pose Pose, demandBps float64, traffic Traffic)
 	if err != nil {
 		return NodeInfo{}, err
 	}
-	return NodeInfo{
+	info := NodeInfo{
 		ID:           node.ID,
 		ChannelHz:    node.Assignment.CenterHz,
 		WidthHz:      node.Assignment.WidthHz,
 		SharedViaSDM: node.SDMShared,
-	}, nil
+	}
+	if node.AP != nil {
+		info.AP = node.AP.Index()
+	}
+	return info, nil
 }
 
 // Leave removes a node and returns its spectrum to the pool, churn-safely:
@@ -93,7 +146,7 @@ func (n *Network) ScheduleJoin(at float64, id uint32, pose Pose, demandBps float
 func (n *Network) ScheduleLeave(at float64, id uint32) { n.nw.ScheduleLeave(at, id) }
 
 // OnMembershipChange registers a callback invoked after every membership
-// event applied inside Run — event is "join" or "leave" — with the
+// event applied inside Run — event is "join", "leave" or "roam" — with the
 // network already in its post-event state. Tools use it to audit
 // ValidateSpectrum after each event; it runs at the sim clock inside the
 // event loop, so keep it cheap and deterministic. Pass nil to clear.
@@ -236,7 +289,9 @@ func (n *Network) SetReliableControl() { n.nw.Side = nil }
 func (n *Network) SetLeaseTTL(ttlS, renewIntervalS float64) {
 	n.nw.Control.LeaseTTLS = ttlS
 	n.nw.Control.RenewIntervalS = renewIntervalS
-	n.nw.Controller.LeaseTTL = ttlS
+	for _, ap := range n.nw.APs {
+		ap.Controller.LeaseTTL = ttlS
+	}
 }
 
 // Run drives the deployment for the given duration (seconds): blockers
